@@ -1,0 +1,36 @@
+// Shared helpers for the per-experiment benchmark binaries.  Each binary
+// regenerates one table/figure from the paper's evaluation (see DESIGN.md's
+// experiment index) and prints paper-measured rows.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/runner.h"
+#include "util/strings.h"
+
+namespace dowork::bench {
+
+inline std::string fmt_round(const Round& r) {
+  if (r.fits_u64()) return with_commas(r.to_u64_saturating());
+  return "~2^" + std::to_string(r.log2_floor());
+}
+
+// Runs a protocol and aborts loudly if verification fails: a bench must not
+// print numbers from a broken run.
+inline RunResult checked_run(const std::string& protocol, const DoAllConfig& cfg,
+                             std::unique_ptr<FaultInjector> faults) {
+  RunResult r = run_do_all(protocol, cfg, std::move(faults));
+  if (!r.ok()) {
+    std::fprintf(stderr, "FATAL: %s on %s violated invariants: %s\n", protocol.c_str(),
+                 cfg.to_string().c_str(), r.violation.c_str());
+    std::abort();
+  }
+  return r;
+}
+
+inline void header(const char* experiment, const char* claim) {
+  std::printf("\n=== %s ===\n%s\n\n", experiment, claim);
+}
+
+}  // namespace dowork::bench

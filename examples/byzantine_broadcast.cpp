@@ -1,0 +1,60 @@
+// Section 5 application: crash-tolerant Byzantine agreement built on the
+// work protocols.  A coordinator ("general") pushes a configuration version
+// to a 60-node cluster tolerating 7 crashes: the general informs the 8
+// senders, and the senders treat "tell node i the value" as Do-All work.
+// Even if the general dies mid-broadcast and senders keep crashing, every
+// surviving node decides the same version.
+#include <cstdio>
+
+#include "agreement/byzantine.h"
+
+namespace {
+
+void report(const char* scenario, const dowork::ByzantineResult& r) {
+  std::printf("%-34s agreement=%-3s validity=%-3s general_crashed=%-3s msgs=%llu\n", scenario,
+              r.agreement ? "yes" : "NO", r.validity ? "yes" : "NO",
+              r.general_crashed ? "yes" : "no",
+              static_cast<unsigned long long>(r.metrics.messages_total));
+  // Show a few decisions.
+  std::printf("    decisions: ");
+  int shown = 0;
+  for (std::size_t i = 0; i < r.decisions.size() && shown < 8; ++i) {
+    if (r.decisions[i]) {
+      std::printf("node%zu=%lld ", i, static_cast<long long>(*r.decisions[i]));
+      ++shown;
+    }
+  }
+  std::printf("...\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace dowork;
+
+  ByzantineConfig cfg;
+  cfg.n_procs = 60;
+  cfg.t_faults = 7;
+  cfg.value = 2024;     // the config version being agreed on
+  cfg.protocol = "B";   // O(n + t*sqrt(t)) messages, O(n) rounds
+
+  report("failure-free:", run_byzantine(cfg, std::make_unique<NoFaults>()));
+
+  // The general crashes while telling the senders, reaching only 3 of them.
+  report("general dies mid-broadcast:",
+         run_byzantine(cfg, std::make_unique<ScheduledFaults>(std::vector<ScheduledFaults::Entry>{
+                                {0, 1, CrashPlan{false, 3}}})));
+
+  // Every sender that takes over dies after informing two more nodes.
+  report("sender takeover cascade:",
+         run_byzantine(cfg, std::make_unique<WorkCascadeFaults>(2, cfg.t_faults, 1)));
+
+  // Same guarantees via Protocol C: fewer messages, exponential (simulated)
+  // time -- note the round counter below.
+  cfg.protocol = "C";
+  ByzantineResult rc = run_byzantine(cfg, std::make_unique<WorkCascadeFaults>(2, cfg.t_faults, 1));
+  report("via Protocol C (msg-frugal):", rc);
+  std::printf("    (protocol C decision round ~ 2^%d -- exact, thanks to 512-bit rounds)\n",
+              rc.metrics.last_retire_round.log2_floor());
+  return 0;
+}

@@ -1,0 +1,100 @@
+#include "async/async_sim.h"
+
+namespace dowork {
+
+AsyncSim::AsyncSim(std::vector<std::unique_ptr<IAsyncProcess>> procs, Options options,
+                   std::vector<std::optional<CrashSpec>> crash_specs)
+    : procs_(std::move(procs)),
+      opt_(options),
+      crash_specs_(std::move(crash_specs)),
+      rng_(options.seed) {
+  const std::size_t t = procs_.size();
+  crash_specs_.resize(t);
+  action_count_.assign(t, 0);
+  retired_.assign(t, false);
+  alive_ = static_cast<int>(t);
+  metrics_.unit_multiplicity.assign(static_cast<std::size_t>(opt_.n_units), 0);
+}
+
+void AsyncSim::schedule(ATime time, int target, AsyncEvent event) {
+  queue_.push(QueuedEvent{time, seq_++, target, std::move(event)});
+}
+
+void AsyncSim::retire(int proc, ATime now, bool crashed) {
+  if (retired_[static_cast<std::size_t>(proc)]) return;
+  retired_[static_cast<std::size_t>(proc)] = true;
+  --alive_;
+  if (crashed) ++metrics_.crashes;
+  // The failure detector eventually informs every live process, each after
+  // its own (adversarial) latency.
+  for (std::size_t p = 0; p < procs_.size(); ++p) {
+    if (retired_[p]) continue;
+    AsyncEvent e;
+    e.kind = AsyncEvent::Kind::kRetireNotice;
+    e.retired_proc = proc;
+    schedule(now + rng_.uniform(1, opt_.fd_max_delay), static_cast<int>(p), std::move(e));
+    ++metrics_.fd_notices;
+  }
+}
+
+AsyncMetrics AsyncSim::run() {
+  for (std::size_t p = 0; p < procs_.size(); ++p)
+    schedule(0, static_cast<int>(p), AsyncEvent{});  // kStart
+
+  std::uint64_t events = 0;
+  while (!queue_.empty() && alive_ > 0) {
+    if (++events > opt_.max_events) break;
+    QueuedEvent qe = queue_.top();
+    queue_.pop();
+    const std::size_t p = static_cast<std::size_t>(qe.target);
+    if (retired_[p]) continue;
+
+    AsyncAction a = procs_[p]->on_event(qe.time, qe.event);
+
+    std::optional<CrashSpec> crash;
+    if (a.work || !a.sends.empty()) {
+      // Non-trivial action (work or sends): count it against the crash spec.
+      if (crash_specs_[p] && ++action_count_[p] >= crash_specs_[p]->on_nth_action &&
+          alive_ > 1) {
+        crash = crash_specs_[p];
+        crash_specs_[p].reset();
+      }
+    }
+
+    if (a.work && (!crash || crash->work_completes)) {
+      ++metrics_.work_total;
+      if (*a.work >= 1 && *a.work <= opt_.n_units)
+        ++metrics_.unit_multiplicity[static_cast<std::size_t>(*a.work - 1)];
+    }
+    const std::size_t deliver = crash ? std::min(crash->deliver_prefix, a.sends.size())
+                                      : a.sends.size();
+    for (std::size_t s = 0; s < deliver; ++s) {
+      const Outgoing& o = a.sends[s];
+      ++metrics_.messages_total;
+      if (o.to >= 0 && o.to < static_cast<int>(procs_.size()) &&
+          !retired_[static_cast<std::size_t>(o.to)]) {
+        AsyncEvent e;
+        e.kind = AsyncEvent::Kind::kMessage;
+        e.from = static_cast<int>(p);
+        e.msg_kind = o.kind;
+        e.payload = o.payload;
+        schedule(qe.time + rng_.uniform(opt_.min_delay, opt_.max_delay), o.to, std::move(e));
+      }
+    }
+
+    if (crash) {
+      retire(static_cast<int>(p), qe.time, /*crashed=*/true);
+    } else if (a.terminate) {
+      retire(static_cast<int>(p), qe.time, /*crashed=*/false);
+    } else if (a.timer) {
+      AsyncEvent e;
+      e.kind = AsyncEvent::Kind::kTimer;
+      schedule(qe.time + *a.timer, static_cast<int>(p), std::move(e));
+    }
+    metrics_.end_time = qe.time;
+  }
+  metrics_.all_retired = alive_ == 0;
+  return metrics_;
+}
+
+}  // namespace dowork

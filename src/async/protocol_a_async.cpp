@@ -1,0 +1,95 @@
+#include "async/protocol_a_async.h"
+
+namespace dowork {
+
+AsyncProtocolAProcess::AsyncProtocolAProcess(const DoAllConfig& cfg, int self)
+    : layout_(GroupLayout::for_sqrt(cfg.t)),
+      part_(WorkPartition::for_protocol_a(cfg.n, cfg.t)),
+      self_(self) {
+  cfg.validate();
+}
+
+void AsyncProtocolAProcess::ingest(int from, const Payload* payload) {
+  const int last_sub = part_.num_subchunks();
+  if (const auto* p = dynamic_cast<const CkptPartial*>(payload)) {
+    if (p->c == last_sub) completion_seen_ = true;
+    last_ = LastCheckpoint{p->c, std::nullopt, from, Round{0}, false};
+  } else if (const auto* f = dynamic_cast<const CkptFull*>(payload)) {
+    if (f->c == last_sub && f->g == layout_.group_of(self_)) completion_seen_ = true;
+    last_ = LastCheckpoint{f->c, f->g, from, Round{0}, false};
+  }
+}
+
+bool AsyncProtocolAProcess::lower_processes_all_retired() const {
+  for (int p = 0; p < self_; ++p)
+    if (retired_known_.find(p) == retired_known_.end()) return false;
+  return true;
+}
+
+AsyncAction AsyncProtocolAProcess::pop_plan() {
+  AsyncAction a;
+  if (plan_.empty()) {
+    a.terminate = true;
+    done_ = true;
+    return a;
+  }
+  ActiveOp op = std::move(plan_.front());
+  plan_.pop_front();
+  if (op.work) {
+    a.work = op.work;
+  } else {
+    for (int r : op.recipients) a.sends.push_back(Outgoing{r, MsgKind::kCheckpoint, op.payload});
+  }
+  if (plan_.empty()) {
+    a.terminate = true;
+    done_ = true;
+  } else {
+    a.timer = 1;  // pace one operation per step
+  }
+  return a;
+}
+
+AsyncAction AsyncProtocolAProcess::on_event(ATime, const AsyncEvent& event) {
+  if (done_) return {};
+
+  switch (event.kind) {
+    case AsyncEvent::Kind::kMessage:
+      if (!active_) {
+        ingest(event.from, event.payload.get());
+        if (completion_seen_) {
+          AsyncAction a;
+          a.terminate = true;
+          done_ = true;
+          return a;
+        }
+      }
+      return {};
+    case AsyncEvent::Kind::kRetireNotice:
+      retired_known_.insert(event.retired_proc);
+      break;
+    case AsyncEvent::Kind::kStart:
+      break;
+    case AsyncEvent::Kind::kTimer:
+      if (active_) return pop_plan();
+      return {};
+  }
+
+  // kStart / kRetireNotice: maybe take over.
+  if (!active_ && !completion_seen_ && lower_processes_all_retired()) {
+    active_ = true;
+    plan_ = build_active_plan(layout_, part_, self_, last_, nullptr);
+    return pop_plan();
+  }
+  return {};
+}
+
+AsyncMetrics run_async_protocol_a(const DoAllConfig& cfg, AsyncSim::Options options,
+                                  std::vector<std::optional<AsyncSim::CrashSpec>> crashes) {
+  options.n_units = cfg.n;
+  std::vector<std::unique_ptr<IAsyncProcess>> procs;
+  for (int i = 0; i < cfg.t; ++i) procs.push_back(std::make_unique<AsyncProtocolAProcess>(cfg, i));
+  AsyncSim sim(std::move(procs), options, std::move(crashes));
+  return sim.run();
+}
+
+}  // namespace dowork

@@ -1,0 +1,45 @@
+// Asynchronous Protocol A (paper Section 2.1, final remark).
+//
+// Identical checkpointing structure to the synchronous Protocol A, but
+// process j becomes active when the failure detector has reported that every
+// process below j crashed or terminated, instead of waiting for the absolute
+// deadline DD(j).  Work and message complexity are unchanged; time depends
+// only on actual delays and detector latency, not on worst-case deadlines.
+#pragma once
+
+#include <set>
+
+#include "async/async_sim.h"
+#include "core/work.h"
+#include "protocols/protocol_a.h"
+
+namespace dowork {
+
+class AsyncProtocolAProcess final : public IAsyncProcess {
+ public:
+  AsyncProtocolAProcess(const DoAllConfig& cfg, int self);
+
+  AsyncAction on_event(ATime now, const AsyncEvent& event) override;
+
+ private:
+  void ingest(int from, const Payload* payload);
+  bool lower_processes_all_retired() const;
+  AsyncAction pop_plan();
+
+  GroupLayout layout_;
+  WorkPartition part_;
+  int self_;
+
+  bool active_ = false;
+  bool done_ = false;
+  bool completion_seen_ = false;
+  LastCheckpoint last_;
+  std::set<int> retired_known_;
+  std::deque<ActiveOp> plan_;
+};
+
+// Convenience harness mirroring run_do_all for the async model.
+AsyncMetrics run_async_protocol_a(const DoAllConfig& cfg, AsyncSim::Options options,
+                                  std::vector<std::optional<AsyncSim::CrashSpec>> crashes = {});
+
+}  // namespace dowork

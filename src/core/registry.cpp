@@ -1,0 +1,86 @@
+#include "core/registry.h"
+
+#include <stdexcept>
+
+#include "protocols/baseline_all.h"
+#include "protocols/baseline_checkpoint.h"
+#include "protocols/protocol_a.h"
+#include "protocols/protocol_b.h"
+#include "protocols/protocol_c.h"
+#include "protocols/protocol_d.h"
+#include "protocols/protocol_d_coord.h"
+
+namespace dowork {
+
+const std::vector<ProtocolInfo>& all_protocols() {
+  static const std::vector<ProtocolInfo> kProtocols = [] {
+    std::vector<ProtocolInfo> v;
+    v.push_back(ProtocolInfo{
+        "baseline_all", /*sequential=*/false, /*strict_one_op=*/true,
+        [](const DoAllConfig& cfg, int self) -> std::unique_ptr<IProcess> {
+          return std::make_unique<BaselineAllProcess>(cfg, self);
+        }});
+    v.push_back(ProtocolInfo{
+        "baseline_checkpoint", /*sequential=*/true, /*strict_one_op=*/true,
+        [](const DoAllConfig& cfg, int self) -> std::unique_ptr<IProcess> {
+          return std::make_unique<BaselineCheckpointProcess>(cfg, self, /*k=*/1);
+        }});
+    v.push_back(ProtocolInfo{
+        "A", /*sequential=*/true, /*strict_one_op=*/true,
+        [](const DoAllConfig& cfg, int self) -> std::unique_ptr<IProcess> {
+          return std::make_unique<ProtocolAProcess>(cfg, self);
+        }});
+    v.push_back(ProtocolInfo{
+        "B", /*sequential=*/true, /*strict_one_op=*/true,
+        [](const DoAllConfig& cfg, int self) -> std::unique_ptr<IProcess> {
+          return std::make_unique<ProtocolBProcess>(cfg, self);
+        }});
+    v.push_back(ProtocolInfo{
+        "C", /*sequential=*/true, /*strict_one_op=*/true,
+        [](const DoAllConfig& cfg, int self) -> std::unique_ptr<IProcess> {
+          return std::make_unique<ProtocolCProcess>(cfg, self);
+        }});
+    v.push_back(ProtocolInfo{
+        "C_batch", /*sequential=*/true, /*strict_one_op=*/true,
+        [](const DoAllConfig& cfg, int self) -> std::unique_ptr<IProcess> {
+          ProtocolCOptions o;
+          o.batch_reports = true;
+          return std::make_unique<ProtocolCProcess>(cfg, self, o);
+        }});
+    v.push_back(ProtocolInfo{
+        "naive_C", /*sequential=*/true, /*strict_one_op=*/true,
+        [](const DoAllConfig& cfg, int self) -> std::unique_ptr<IProcess> {
+          ProtocolCOptions o;
+          o.fault_detection = false;
+          return std::make_unique<ProtocolCProcess>(cfg, self, o);
+        }});
+    v.push_back(ProtocolInfo{
+        "D", /*sequential=*/false, /*strict_one_op=*/true,
+        [](const DoAllConfig& cfg, int self) -> std::unique_ptr<IProcess> {
+          return std::make_unique<ProtocolDProcess>(cfg, self);
+        }});
+    v.push_back(ProtocolInfo{
+        "D_coord", /*sequential=*/false, /*strict_one_op=*/true,
+        [](const DoAllConfig& cfg, int self) -> std::unique_ptr<IProcess> {
+          return std::make_unique<ProtocolDCoordProcess>(cfg, self);
+        }});
+    return v;
+  }();
+  return kProtocols;
+}
+
+const ProtocolInfo& find_protocol(const std::string& name) {
+  for (const ProtocolInfo& p : all_protocols())
+    if (p.name == name) return p;
+  throw std::invalid_argument("unknown protocol: " + name);
+}
+
+std::vector<std::unique_ptr<IProcess>> make_processes(const ProtocolInfo& info,
+                                                      const DoAllConfig& cfg) {
+  std::vector<std::unique_ptr<IProcess>> procs;
+  procs.reserve(static_cast<std::size_t>(cfg.t));
+  for (int i = 0; i < cfg.t; ++i) procs.push_back(info.make_proc(cfg, i));
+  return procs;
+}
+
+}  // namespace dowork

@@ -1,0 +1,37 @@
+// Protocol registry: maps protocol names to process factories plus the
+// invariants the verifier should enforce for them.  Used by the test
+// parameter sweeps, the benchmark harness and the examples.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/work.h"
+#include "sim/process.h"
+
+namespace dowork {
+
+struct ProtocolInfo {
+  std::string name;
+  // At most one process performs work in any round (Protocols A/B/C and the
+  // single-worker baselines; false for Protocol D and baseline_all).
+  bool sequential = false;
+  // Obeys the paper's one-operation-per-round accounting (enforced by the
+  // simulator's strict mode).
+  bool strict_one_op = false;
+  std::function<std::unique_ptr<IProcess>(const DoAllConfig&, int self)> make_proc;
+};
+
+// All registered protocols (baselines, A, B, C, C_batch, naive_C, D).
+const std::vector<ProtocolInfo>& all_protocols();
+
+// Lookup by name; throws std::invalid_argument for unknown names.
+const ProtocolInfo& find_protocol(const std::string& name);
+
+// Instantiate the full process vector for a run.
+std::vector<std::unique_ptr<IProcess>> make_processes(const ProtocolInfo& info,
+                                                      const DoAllConfig& cfg);
+
+}  // namespace dowork

@@ -1,0 +1,25 @@
+#include "core/runner.h"
+
+namespace dowork {
+
+RunResult run_do_all(const ProtocolInfo& info, const DoAllConfig& cfg,
+                     std::unique_ptr<FaultInjector> faults, const RunOptions& opts) {
+  cfg.validate();
+  Simulator::Options sim_opts;
+  sim_opts.strict_one_op = info.strict_one_op && opts.enforce_strict;
+  sim_opts.max_stepped_rounds = opts.max_stepped_rounds;
+  sim_opts.n_units = cfg.n;
+
+  Simulator sim(make_processes(info, cfg), std::move(faults), sim_opts);
+  RunResult result;
+  result.metrics = sim.run();
+  result.violation = verify_run(info, cfg, result.metrics);
+  return result;
+}
+
+RunResult run_do_all(const std::string& protocol, const DoAllConfig& cfg,
+                     std::unique_ptr<FaultInjector> faults, const RunOptions& opts) {
+  return run_do_all(find_protocol(protocol), cfg, std::move(faults), opts);
+}
+
+}  // namespace dowork

@@ -1,0 +1,35 @@
+// One-call run harness: instantiate a protocol, execute it under a fault
+// injector, verify the outcome, and return the metrics.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/registry.h"
+#include "core/verifier.h"
+#include "sim/fault_injector.h"
+#include "sim/simulator.h"
+
+namespace dowork {
+
+struct RunResult {
+  RunMetrics metrics;
+  std::string violation;  // empty = verified OK
+  bool ok() const { return violation.empty(); }
+};
+
+struct RunOptions {
+  std::uint64_t max_stepped_rounds = 50'000'000;
+  // Override the protocol's declared strictness (e.g. the Byzantine layer
+  // legitimately pairs work with a value send).
+  bool enforce_strict = true;
+};
+
+RunResult run_do_all(const ProtocolInfo& info, const DoAllConfig& cfg,
+                     std::unique_ptr<FaultInjector> faults, const RunOptions& opts = {});
+
+// Convenience overload: lookup by protocol name.
+RunResult run_do_all(const std::string& protocol, const DoAllConfig& cfg,
+                     std::unique_ptr<FaultInjector> faults, const RunOptions& opts = {});
+
+}  // namespace dowork

@@ -1,0 +1,22 @@
+#include "core/verifier.h"
+
+namespace dowork {
+
+std::string verify_run(const ProtocolInfo& info, const DoAllConfig& cfg,
+                       const RunMetrics& metrics) {
+  if (metrics.hit_round_cap) return "run hit the stepped-round cap";
+  if (metrics.deadlocked) return "run deadlocked: live processes with no timers or messages";
+  if (!metrics.all_retired) return "run ended with unretired processes";
+  if (static_cast<std::int64_t>(metrics.unit_multiplicity.size()) != cfg.n)
+    return "metrics not configured with n units";
+  for (std::int64_t u = 0; u < cfg.n; ++u) {
+    if (metrics.unit_multiplicity[static_cast<std::size_t>(u)] == 0)
+      return "unit " + std::to_string(u + 1) + " was never performed";
+  }
+  if (info.sequential && metrics.max_concurrent_workers > 1)
+    return "sequential protocol had " + std::to_string(metrics.max_concurrent_workers) +
+           " concurrent workers";
+  return {};
+}
+
+}  // namespace dowork

@@ -1,0 +1,23 @@
+#include "core/work.h"
+
+namespace dowork {
+
+int int_sqrt_ceil(int t) {
+  int s = 1;
+  while (s * s < t) ++s;
+  return s;
+}
+
+int pow2_ceil(int t) {
+  int v = 1;
+  while (v < t) v *= 2;
+  return v;
+}
+
+int log2_of_pow2(int v) {
+  int l = 0;
+  while ((1 << l) < v) ++l;
+  return l;
+}
+
+}  // namespace dowork

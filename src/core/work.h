@@ -1,0 +1,36 @@
+// Problem statement types for the Do-All problem (paper Section 1): t
+// synchronous crash-prone processes must perform n independent idempotent
+// units of work; completion is required in every execution in which at least
+// one process survives.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace dowork {
+
+struct DoAllConfig {
+  std::int64_t n = 0;  // units of work, numbered 1..n
+  int t = 0;           // processes, numbered 0..t-1
+
+  void validate() const {
+    if (n < 1) throw std::invalid_argument("DoAllConfig: n must be >= 1");
+    if (t < 1) throw std::invalid_argument("DoAllConfig: t must be >= 1");
+  }
+  std::string to_string() const { return "n=" + std::to_string(n) + " t=" + std::to_string(t); }
+};
+
+// ceil(a/b) for positive integers.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) { return (a + b - 1) / b; }
+
+// Smallest s with s*s >= t (the generalized sqrt(t) group size of Protocols
+// A and B).
+int int_sqrt_ceil(int t);
+
+// Smallest power of two >= t, and its exponent (Protocol C's padded process
+// count).
+int pow2_ceil(int t);
+int log2_of_pow2(int v);
+
+}  // namespace dowork

@@ -1,0 +1,32 @@
+// Baseline 1 (paper Section 1): every process performs every unit of work.
+// No messages, t*n work in the worst (= failure-free) case, n rounds.
+#pragma once
+
+#include "core/work.h"
+#include "sim/process.h"
+
+namespace dowork {
+
+class BaselineAllProcess final : public IProcess {
+ public:
+  BaselineAllProcess(const DoAllConfig& cfg, int self) : n_(cfg.n), self_(self) {
+    cfg.validate();
+  }
+
+  Action on_round(const RoundContext&, const std::vector<Envelope>&) override {
+    Action a;
+    if (next_unit_ <= n_) a.work = next_unit_++;
+    if (next_unit_ > n_) a.terminate = true;
+    return a;
+  }
+
+  Round next_wake(const Round& now) const override { return now; }
+  std::string describe() const override { return "BaselineAll[" + std::to_string(self_) + "]"; }
+
+ private:
+  std::int64_t n_;
+  int self_;
+  std::int64_t next_unit_ = 1;
+};
+
+}  // namespace dowork

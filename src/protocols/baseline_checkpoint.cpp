@@ -1,0 +1,74 @@
+#include "protocols/baseline_checkpoint.h"
+
+#include <algorithm>
+
+namespace dowork {
+
+BaselineCheckpointProcess::BaselineCheckpointProcess(const DoAllConfig& cfg, int self,
+                                                     std::int64_t k)
+    : n_(cfg.n), t_(cfg.t), self_(self), k_(std::max<std::int64_t>(1, k)) {
+  cfg.validate();
+}
+
+Round BaselineCheckpointProcess::deadline() const {
+  // An active process lives at most n work rounds + ceil(n/k)+1 checkpoint
+  // rounds; stagger takeovers by that much.
+  std::uint64_t life = static_cast<std::uint64_t>(n_ + ceil_div(n_, k_) + 2);
+  return Round{static_cast<std::uint64_t>(self_)} * life;
+}
+
+Action BaselineCheckpointProcess::on_round(const RoundContext& ctx,
+                                           const std::vector<Envelope>& inbox) {
+  for (const Envelope& env : inbox) {
+    if (const auto* c = env.as<BaselineCkpt>()) known_done_ = std::max(known_done_, c->done);
+  }
+  Action a;
+  if (done_) {
+    a.terminate = true;
+    return a;
+  }
+  if (known_done_ >= n_ && !active_) {
+    done_ = true;
+    a.terminate = true;
+    return a;
+  }
+  if (!active_) {
+    if (ctx.round < deadline()) return Action::none();
+    active_ = true;
+    next_unit_ = known_done_ + 1;
+    since_ckpt_ = 0;
+  }
+
+  // Checkpoint round: after k units, or after the final unit.
+  const bool all_done = next_unit_ > n_;
+  if (since_ckpt_ >= k_ || (all_done && since_ckpt_ > 0) || (all_done && known_done_ < n_)) {
+    std::int64_t done_upto = next_unit_ - 1;
+    auto payload = std::make_shared<BaselineCkpt>(done_upto);
+    for (int p = 0; p < t_; ++p)
+      if (p != self_) a.sends.push_back(Outgoing{p, MsgKind::kCheckpoint, payload});
+    known_done_ = std::max(known_done_, done_upto);
+    since_ckpt_ = 0;
+    if (all_done) {
+      done_ = true;
+      a.terminate = true;
+    }
+    return a;
+  }
+  if (all_done) {
+    done_ = true;
+    a.terminate = true;
+    return a;
+  }
+  a.work = next_unit_++;
+  ++since_ckpt_;
+  return a;
+}
+
+Round BaselineCheckpointProcess::next_wake(const Round& now) const {
+  if (done_) return never_round();
+  if (active_ || known_done_ >= n_) return now;
+  Round dd = deadline();
+  return dd > now ? dd : now;
+}
+
+}  // namespace dowork

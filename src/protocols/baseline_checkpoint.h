@@ -1,0 +1,48 @@
+// Baseline 2 (paper Section 1) and the Section 2 checkpoint-frequency
+// argument: a single active process performs the work, broadcasting a
+// checkpoint to *all* other processes after every k units; process j takes
+// over at a deadline by which processes 0..j-1 must have retired.
+//
+// k = 1 is the paper's second trivial solution (work n + t - 1, messages
+// ~ t*n).  Sweeping k reproduces the Section 2 trade-off: infrequent
+// checkpoints waste work on crashes (up to k units redone per failure),
+// frequent ones waste messages (t per checkpoint) -- motivating Protocol A's
+// two-level scheme.
+#pragma once
+
+#include "core/work.h"
+#include "sim/process.h"
+
+namespace dowork {
+
+struct BaselineCkpt final : Payload {
+  std::int64_t done;  // units 1..done are complete
+  explicit BaselineCkpt(std::int64_t d) : done(d) {}
+};
+
+class BaselineCheckpointProcess final : public IProcess {
+ public:
+  BaselineCheckpointProcess(const DoAllConfig& cfg, int self, std::int64_t k);
+
+  Action on_round(const RoundContext& ctx, const std::vector<Envelope>& inbox) override;
+  Round next_wake(const Round& now) const override;
+  std::string describe() const override {
+    return "BaselineCkpt[" + std::to_string(self_) + ",k=" + std::to_string(k_) + "]";
+  }
+
+ private:
+  Round deadline() const;
+
+  std::int64_t n_;
+  int t_;
+  int self_;
+  std::int64_t k_;
+
+  bool active_ = false;
+  bool done_ = false;
+  std::int64_t known_done_ = 0;   // highest checkpointed unit heard of
+  std::int64_t next_unit_ = 1;    // when active
+  std::int64_t since_ckpt_ = 0;   // units since the last checkpoint broadcast
+};
+
+}  // namespace dowork

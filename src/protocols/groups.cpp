@@ -1,0 +1,40 @@
+#include "protocols/groups.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dowork {
+
+GroupLayout::GroupLayout(int t, int group_size) : t_(t), s_(group_size) {
+  if (t < 1 || group_size < 1) throw std::invalid_argument("GroupLayout: bad sizes");
+  num_groups_ = (t + s_ - 1) / s_;
+}
+
+int GroupLayout::end_of_group(int g) const { return std::min(t_, (g + 1) * s_); }
+
+std::vector<int> GroupLayout::members(int g) const {
+  std::vector<int> out;
+  for (int i = first_of_group(g); i < end_of_group(g); ++i) out.push_back(i);
+  return out;
+}
+
+std::vector<int> GroupLayout::members_above(int g, int above) const {
+  std::vector<int> out;
+  for (int i = std::max(first_of_group(g), above + 1); i < end_of_group(g); ++i) out.push_back(i);
+  return out;
+}
+
+WorkPartition::WorkPartition(std::int64_t n, int subchunks, int per_chunk)
+    : n_(n), subchunks_(subchunks), per_chunk_(per_chunk) {
+  if (n < 0 || subchunks < 1 || per_chunk < 1) throw std::invalid_argument("WorkPartition: bad");
+}
+
+std::int64_t WorkPartition::sub_begin(int c) const {
+  return (static_cast<std::int64_t>(c - 1) * n_) / subchunks_ + 1;
+}
+
+std::int64_t WorkPartition::sub_end(int c) const {
+  return (static_cast<std::int64_t>(c) * n_) / subchunks_;
+}
+
+}  // namespace dowork

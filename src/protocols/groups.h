@@ -1,0 +1,74 @@
+// Group and work-partition geometry shared by Protocols A and B (Section 2).
+//
+// The paper assumes t is a perfect square and t | n "for ease of exposition";
+// this is the generalized version it leaves to the reader:
+//   * group size s = ceil(sqrt(t)); groups are consecutive id ranges
+//     [g*s, min((g+1)*s, t)), the last group possibly smaller;
+//   * the work is divided into t subchunks, subchunk c (1-based) covering
+//     units (floor((c-1)*n/t), floor(c*n/t)] -- sizes differ by at most one;
+//   * a "chunk" is s consecutive subchunks; the final subchunk is always
+//     treated as a chunk boundary so the last full checkpoint happens even
+//     when s does not divide t.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/work.h"
+
+namespace dowork {
+
+class GroupLayout {
+ public:
+  GroupLayout(int t, int group_size);
+  static GroupLayout for_sqrt(int t) { return GroupLayout(t, int_sqrt_ceil(t)); }
+
+  int t() const { return t_; }
+  int group_size() const { return s_; }
+  int num_groups() const { return num_groups_; }
+
+  int group_of(int proc) const { return proc / s_; }
+  int pos_in_group(int proc) const { return proc % s_; }  // the paper's i-bar
+  int first_of_group(int g) const { return g * s_; }
+  // Exclusive end id of group g (accounts for a short last group).
+  int end_of_group(int g) const;
+
+  // All members of group g.
+  std::vector<int> members(int g) const;
+  // Members of group g with id strictly greater than `above` (the "remainder
+  // of the group" an active process broadcasts to).
+  std::vector<int> members_above(int g, int above) const;
+
+ private:
+  int t_;
+  int s_;
+  int num_groups_;
+};
+
+class WorkPartition {
+ public:
+  // n units split into `subchunks` subchunks, grouped `per_chunk` subchunks
+  // to a chunk.
+  WorkPartition(std::int64_t n, int subchunks, int per_chunk);
+  static WorkPartition for_protocol_a(std::int64_t n, int t) {
+    return WorkPartition(n, t, int_sqrt_ceil(t));
+  }
+
+  std::int64_t n() const { return n_; }
+  int num_subchunks() const { return subchunks_; }
+
+  // First / last unit (1-based, inclusive) of subchunk c in 1..subchunks.
+  // May be an empty range (begin > end) when n < subchunks.
+  std::int64_t sub_begin(int c) const;
+  std::int64_t sub_end(int c) const;
+
+  // True when completing subchunk c triggers a full checkpoint.
+  bool is_chunk_boundary(int c) const { return c % per_chunk_ == 0 || c == subchunks_; }
+
+ private:
+  std::int64_t n_;
+  int subchunks_;
+  int per_chunk_;
+};
+
+}  // namespace dowork

@@ -1,0 +1,178 @@
+#include "protocols/protocol_a.h"
+
+namespace dowork {
+
+namespace {
+
+// Append a broadcast op unless the recipient list is empty (an empty
+// broadcast conveys nothing and the paper does not charge a round for it).
+void push_broadcast(std::deque<ActiveOp>& plan, std::vector<int> recipients,
+                    std::shared_ptr<const Payload> payload) {
+  if (recipients.empty()) return;
+  plan.push_back(ActiveOp{std::nullopt, std::move(recipients), std::move(payload)});
+}
+
+}  // namespace
+
+std::deque<ActiveOp> build_active_plan(const GroupLayout& layout, const WorkPartition& part,
+                                       int self, const LastCheckpoint& last,
+                                       const std::vector<std::int64_t>* unit_map) {
+  std::deque<ActiveOp> plan;
+  const int gj = layout.group_of(self);
+  const int num_groups = layout.num_groups();
+
+  // Partialcheckpoint(c): inform the remainder of the own group.
+  auto partial_ckpt = [&](int c) {
+    push_broadcast(plan, layout.members_above(gj, self), std::make_shared<CkptPartial>(c));
+  };
+  // Fullcheckpoint(c, l): for each group g = l..G-1, inform group g and then
+  // checkpoint that fact to the remainder of the own group.
+  auto full_ckpt = [&](int c, int from_g) {
+    for (int g = from_g; g < num_groups; ++g) {
+      push_broadcast(plan, layout.members(g), std::make_shared<CkptFull>(c, g));
+      push_broadcast(plan, layout.members_above(gj, self), std::make_shared<CkptFull>(c, g));
+    }
+  };
+
+  // Resume the interrupted checkpointing (Figure 1, DoWork lines 1-9).
+  if (!last.fictitious) {
+    if (last.g.has_value()) {
+      if (layout.group_of(last.from) != gj) {
+        // Direct full checkpoint (c, g_j) from an earlier group: complete the
+        // partial checkpoint, then the full checkpoint from the next group.
+        partial_ckpt(last.c);
+        full_ckpt(last.c, gj + 1);
+      } else {
+        // Echo (c, g) with g > g_j from a group mate: make sure the own group
+        // knows group g was informed, then continue from group g+1.
+        push_broadcast(plan, layout.members_above(gj, self),
+                       std::make_shared<CkptFull>(last.c, *last.g));
+        full_ckpt(last.c, *last.g + 1);
+      }
+    } else {
+      // Partial checkpoint (c): complete it; if c closed a chunk, the full
+      // checkpoint may also have been cut short -- redo it.
+      partial_ckpt(last.c);
+      if (part.is_chunk_boundary(last.c)) full_ckpt(last.c, gj + 1);
+    }
+  }
+
+  // Proceed with the work, subchunk by subchunk (lines 10-14).
+  for (int c = last.c + 1; c <= part.num_subchunks(); ++c) {
+    for (std::int64_t u = part.sub_begin(c); u <= part.sub_end(c); ++u) {
+      std::int64_t unit = unit_map ? (*unit_map)[static_cast<std::size_t>(u - 1)] : u;
+      plan.push_back(ActiveOp{unit, {}, nullptr});
+    }
+    partial_ckpt(c);
+    if (part.is_chunk_boundary(c)) full_ckpt(c, gj + 1);
+  }
+  return plan;
+}
+
+bool is_completion_notice(const GroupLayout& layout, const WorkPartition& part, int self,
+                          const Envelope& env) {
+  const int last_sub = part.num_subchunks();
+  if (const auto* p = env.as<CkptPartial>()) return p->c == last_sub;
+  if (const auto* f = env.as<CkptFull>())
+    return f->c == last_sub && f->g == layout.group_of(self);
+  return false;
+}
+
+ProtocolAProcess::ProtocolAProcess(const DoAllConfig& cfg, int self, Round start_round,
+                                   std::vector<std::int64_t> unit_map)
+    : layout_(GroupLayout::for_sqrt(cfg.t)),
+      part_(WorkPartition::for_protocol_a(cfg.n, cfg.t)),
+      n_(cfg.n),
+      t_(cfg.t),
+      self_(self),
+      start_round_(start_round),
+      unit_map_(std::move(unit_map)) {
+  cfg.validate();
+}
+
+Round ProtocolAProcess::takeover_deadline() const {
+  // DD(j) = j * (n + 3t): by then processes 0..j-1 have retired (Lemma 2.2;
+  // each active process lives < n + 3t rounds, Lemma 2.1).
+  return start_round_ + Round{static_cast<std::uint64_t>(self_)} *
+                            static_cast<std::uint64_t>(n_ + 3 * static_cast<std::int64_t>(t_));
+}
+
+void ProtocolAProcess::ingest(const Envelope& env) {
+  if (is_completion_notice(layout_, part_, self_, env)) completion_seen_ = true;
+  if (const auto* p = env.as<CkptPartial>()) {
+    last_ = LastCheckpoint{p->c, std::nullopt, env.from, env.sent_round + Round{1}, false};
+  } else if (const auto* f = env.as<CkptFull>()) {
+    last_ = LastCheckpoint{f->c, f->g, env.from, env.sent_round + Round{1}, false};
+  }
+}
+
+Action ProtocolAProcess::pop_plan() {
+  if (plan_.empty()) {
+    state_ = State::kDone;
+    Action a;
+    a.terminate = true;
+    return a;
+  }
+  ActiveOp op = std::move(plan_.front());
+  plan_.pop_front();
+  Action a;
+  if (op.work) {
+    a.work = op.work;
+  } else {
+    for (int r : op.recipients) a.sends.push_back(Outgoing{r, MsgKind::kCheckpoint, op.payload});
+  }
+  if (plan_.empty()) {
+    // Terminate in the same round as the final operation.
+    a.terminate = true;
+    state_ = State::kDone;
+  }
+  return a;
+}
+
+Action ProtocolAProcess::on_round(const RoundContext& ctx, const std::vector<Envelope>& inbox) {
+  for (const Envelope& env : inbox) ingest(env);
+
+  if (state_ == State::kDone) {
+    Action a;
+    a.terminate = true;
+    return a;
+  }
+
+  if (state_ == State::kPassive) {
+    if (completion_seen_) {
+      state_ = State::kDone;
+      Action a;
+      a.terminate = true;
+      return a;
+    }
+    if (ctx.round >= takeover_deadline()) {
+      state_ = State::kActive;
+      plan_ = build_active_plan(layout_, part_, self_, last_,
+                                unit_map_.empty() ? nullptr : &unit_map_);
+    } else {
+      return Action::none();
+    }
+  }
+  return pop_plan();
+}
+
+Round ProtocolAProcess::next_wake(const Round& now) const {
+  switch (state_) {
+    case State::kPassive: {
+      if (completion_seen_) return now;  // wake to retire
+      Round dd = takeover_deadline();
+      return dd > now ? dd : now;
+    }
+    case State::kActive:
+      return now;  // acts every round until the plan is drained
+    case State::kDone:
+      return never_round();
+  }
+  return never_round();
+}
+
+std::string ProtocolAProcess::describe() const {
+  return "ProtocolA[" + std::to_string(self_) + "]";
+}
+
+}  // namespace dowork

@@ -1,0 +1,113 @@
+// Protocol A (paper Section 2.1-2.2).
+//
+// At most one process is active at a time.  The active process performs the
+// work one subchunk (n/t units) at a time; after each subchunk it does a
+// *partial checkpoint* -- broadcasting (c) to the higher-numbered members of
+// its own group of ~sqrt(t) processes -- and after each chunk (sqrt(t)
+// subchunks) a *full checkpoint*: for each higher group g it broadcasts
+// (c, g) to group g and then echoes (c, g) to its own group, checkpointing
+// the fact that g was informed.  Process j takes over as the active process
+// at round DD(j) = j*(n + 3t) unless it has learned that the work finished
+// (it received (t) or a full checkpoint (t, g_j) addressed to its group).
+//
+// Guarantees (Theorem 2.3): work <= 3n', messages <= 9*t*sqrt(t), all
+// processes retired by round n't + 3t^2, where n' = max(n, t) (with n < t a
+// subchunk may be empty but is still checkpointed).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/work.h"
+#include "protocols/groups.h"
+#include "sim/process.h"
+
+namespace dowork {
+
+// "(c)" -- partial checkpoint: subchunk c has been completed.
+struct CkptPartial final : Payload {
+  int c;
+  explicit CkptPartial(int c_in) : c(c_in) {}
+};
+
+// "(c, g)" -- full checkpoint: subchunk c completed and group g informed.
+// Delivered either directly to members of group g or as an echo to the
+// sender's own group.
+struct CkptFull final : Payload {
+  int c;
+  int g;  // 0-based group index
+  CkptFull(int c_in, int g_in) : c(c_in), g(g_in) {}
+};
+
+// The information a passive process retains for takeover: the content and
+// sender of the last checkpoint message it received.  `fictitious` marks the
+// initial state (nothing received; Protocol B's convention of a round-0
+// message (0, g_j) from process 0).
+struct LastCheckpoint {
+  int c = 0;
+  std::optional<int> g;  // set for (c, g) messages
+  int from = 0;
+  Round received_round = 0;
+  bool fictitious = true;
+};
+
+// One round of the active process's remaining script: either perform a work
+// unit or emit one broadcast.
+struct ActiveOp {
+  std::optional<std::int64_t> work;
+  std::vector<int> recipients;
+  std::shared_ptr<const Payload> payload;
+};
+
+// Builds the full script of an active process that takes over in state
+// `last` (DoWork in Figure 1): resume/complete the interrupted checkpoint,
+// then work subchunk-by-subchunk with partial/full checkpoints.  Shared by
+// Protocols A and B.
+std::deque<ActiveOp> build_active_plan(const GroupLayout& layout, const WorkPartition& part,
+                                       int self, const LastCheckpoint& last,
+                                       const std::vector<std::int64_t>* unit_map);
+
+// True when a received checkpoint tells `self` that all work is complete
+// ("(t)" or a direct "(t, g_self)").
+bool is_completion_notice(const GroupLayout& layout, const WorkPartition& part, int self,
+                          const Envelope& env);
+
+class ProtocolAProcess final : public IProcess {
+ public:
+  // `unit_map`, if non-empty, remaps virtual unit v (1-based) to
+  // unit_map[v-1]; used when Protocol D reverts to Protocol A on the
+  // leftover work set.  `start_round` offsets every deadline (the protocol
+  // may be started mid-simulation, e.g. by the Byzantine layer).
+  ProtocolAProcess(const DoAllConfig& cfg, int self, Round start_round = 0,
+                   std::vector<std::int64_t> unit_map = {});
+
+  Action on_round(const RoundContext& ctx, const std::vector<Envelope>& inbox) override;
+  Round next_wake(const Round& now) const override;
+  std::string describe() const override;
+
+  bool is_active() const { return state_ == State::kActive; }
+
+ private:
+  enum class State { kPassive, kActive, kDone };
+
+  Round takeover_deadline() const;  // start_round + DD(self)
+  void ingest(const Envelope& env);
+  Action pop_plan();
+
+  GroupLayout layout_;
+  WorkPartition part_;
+  std::int64_t n_;
+  int t_;
+  int self_;
+  Round start_round_;
+  std::vector<std::int64_t> unit_map_;
+
+  State state_ = State::kPassive;
+  bool completion_seen_ = false;
+  LastCheckpoint last_;
+  std::deque<ActiveOp> plan_;
+};
+
+}  // namespace dowork

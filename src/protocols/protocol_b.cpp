@@ -1,0 +1,182 @@
+#include "protocols/protocol_b.h"
+
+namespace dowork {
+
+ProtocolBProcess::ProtocolBProcess(const DoAllConfig& cfg, int self, Round start_round)
+    : layout_(GroupLayout::for_sqrt(cfg.t)),
+      part_(WorkPartition::for_protocol_a(cfg.n, cfg.t)),
+      n_(cfg.n),
+      t_(cfg.t),
+      self_(self),
+      start_round_(start_round) {
+  cfg.validate();
+  // PTO - 1 bounds the silence a process can see from an active process in
+  // its own group: one subchunk of work (<= ceil(n/t) rounds) plus the
+  // partial-checkpoint round plus delivery.
+  pto_ = static_cast<std::uint64_t>(ceil_div(n_, t_)) + 2;
+  // The paper's convention: a fictitious ordinary message (0, g_j) from
+  // process 0 at round 0 seeds every timeout.
+  last_ = LastCheckpoint{0, layout_.group_of(self_), 0, start_round_, true};
+}
+
+std::uint64_t ProtocolBProcess::gto(int i) const {
+  // GTO(i) - 1 bounds the silence before a higher group hears from group g_i
+  // while any process >= i there is active: one chunk of work, its partial
+  // checkpoints, and the per-process takeover probes.
+  const std::uint64_t s = static_cast<std::uint64_t>(layout_.group_size());
+  const std::uint64_t chunk_work = s * static_cast<std::uint64_t>(ceil_div(n_, t_));
+  const std::uint64_t ibar = static_cast<std::uint64_t>(layout_.pos_in_group(i));
+  return chunk_work + 3 * s + (s - ibar - 1) * pto_ + 1;
+}
+
+std::uint64_t ProtocolBProcess::ddb(int i) const {
+  const int gi = layout_.group_of(i);
+  const int gj = layout_.group_of(self_);
+  if (gi == gj) return pto_;
+  return gto(i) + static_cast<std::uint64_t>(gj - gi - 1) * gto(0);
+}
+
+Round ProtocolBProcess::passive_deadline() const {
+  if (self_ == 0) return start_round_;  // process 0 is active from the start
+  return last_.received_round + Round{ddb(last_.from)};
+}
+
+void ProtocolBProcess::ingest(const Envelope& env) {
+  if (env.as<GoAhead>()) {
+    go_ahead_pending_ = true;
+    return;
+  }
+  if (is_completion_notice(layout_, part_, self_, env)) completion_seen_ = true;
+  if (const auto* p = env.as<CkptPartial>()) {
+    last_ = LastCheckpoint{p->c, std::nullopt, env.from, env.sent_round + Round{1}, false};
+    if (state_ == State::kPreactive) state_ = State::kPassive;  // someone is alive below us
+  } else if (const auto* f = env.as<CkptFull>()) {
+    last_ = LastCheckpoint{f->c, f->g, env.from, env.sent_round + Round{1}, false};
+    if (state_ == State::kPreactive) state_ = State::kPassive;
+  }
+}
+
+void ProtocolBProcess::activate() {
+  state_ = State::kActive;
+  plan_ = build_active_plan(layout_, part_, self_, last_, nullptr);
+}
+
+void ProtocolBProcess::enter_preactive(const Round& now) {
+  state_ = State::kPreactive;
+  preactive_start_ = now;
+  probe_targets_.clear();
+  next_probe_ = 0;
+  const int gj = layout_.group_of(self_);
+  // Probe the lower-numbered group members that might still be alive: all of
+  // them if the last ordinary message came from another group, only those
+  // above the (known retired) sender otherwise.
+  int first = layout_.group_of(last_.from) == gj ? last_.from + 1 : layout_.first_of_group(gj);
+  for (int k = first; k < self_; ++k) probe_targets_.push_back(k);
+}
+
+Action ProtocolBProcess::pop_plan() {
+  if (plan_.empty()) {
+    state_ = State::kDone;
+    Action a;
+    a.terminate = true;
+    return a;
+  }
+  ActiveOp op = std::move(plan_.front());
+  plan_.pop_front();
+  Action a;
+  if (op.work) {
+    a.work = op.work;
+  } else {
+    for (int r : op.recipients) a.sends.push_back(Outgoing{r, MsgKind::kCheckpoint, op.payload});
+  }
+  if (plan_.empty()) {
+    a.terminate = true;
+    state_ = State::kDone;
+  }
+  return a;
+}
+
+Action ProtocolBProcess::on_round(const RoundContext& ctx, const std::vector<Envelope>& inbox) {
+  go_ahead_pending_ = false;
+  for (const Envelope& env : inbox) ingest(env);
+
+  if (state_ == State::kDone) {
+    Action a;
+    a.terminate = true;
+    return a;
+  }
+  if (state_ == State::kActive) return pop_plan();
+
+  // Passive/preactive: a completion notice retires us immediately.
+  if (completion_seen_) {
+    state_ = State::kDone;
+    Action a;
+    a.terminate = true;
+    return a;
+  }
+  // A go-ahead makes us active on the spot, provided we do not already know
+  // the last subchunk finished (c = t means only the tail of a full
+  // checkpoint remains; the prober will time out and finish it itself).
+  if (go_ahead_pending_ && last_.c < part_.num_subchunks()) {
+    activate();
+    return pop_plan();
+  }
+
+  if (state_ == State::kPassive) {
+    if (ctx.round >= passive_deadline()) {
+      enter_preactive(ctx.round);
+      // Fall through to emit the first probe (or activate if none needed).
+    } else {
+      return Action::none();
+    }
+  }
+
+  // Preactive probing: go-aheads PTO rounds apart; once every target has
+  // been probed and a further PTO of silence passed, become active.
+  if (state_ == State::kPreactive) {
+    Round activation = preactive_start_ + Round{pto_} * probe_targets_.size();
+    if (ctx.round >= activation) {
+      activate();
+      return pop_plan();
+    }
+    if (next_probe_ < probe_targets_.size()) {
+      Round due = preactive_start_ + Round{pto_} * next_probe_;
+      if (ctx.round >= due) {
+        Action a;
+        a.sends.push_back(
+            Outgoing{probe_targets_[next_probe_], MsgKind::kGoAhead, std::make_shared<GoAhead>()});
+        ++next_probe_;
+        return a;
+      }
+    }
+    return Action::none();
+  }
+  return Action::none();
+}
+
+Round ProtocolBProcess::next_wake(const Round& now) const {
+  switch (state_) {
+    case State::kPassive: {
+      if (completion_seen_) return now;
+      Round dd = passive_deadline();
+      return dd > now ? dd : now;
+    }
+    case State::kPreactive: {
+      Round due = next_probe_ < probe_targets_.size()
+                      ? preactive_start_ + Round{pto_} * next_probe_
+                      : preactive_start_ + Round{pto_} * probe_targets_.size();
+      return due > now ? due : now;
+    }
+    case State::kActive:
+      return now;
+    case State::kDone:
+      return never_round();
+  }
+  return never_round();
+}
+
+std::string ProtocolBProcess::describe() const {
+  return "ProtocolB[" + std::to_string(self_) + "]";
+}
+
+}  // namespace dowork

@@ -1,0 +1,77 @@
+// Protocol B (paper Section 2.3-2.4).
+//
+// Identical to Protocol A once a process is active, but takeovers are driven
+// by message-relative timeouts instead of the absolute deadlines DD(j), which
+// cuts the running time from O(nt + t^2) to O(n + t):
+//
+//   * PTO ("process time out") bounds the gap between messages a process
+//     hears from an active process in its own group;
+//   * GTO(i) ("group time out") bounds the gap before a higher group hears
+//     from group g_i if anyone there is active;
+//   * DDB(j, i) combines them: if j last heard (an ordinary message) from i
+//     at round r' and silence lasts DDB(j, i) rounds, every group below g_j
+//     must have retired.
+//
+// At r' + DDB(j, i) process j becomes *preactive*: it probes the
+// lower-numbered members of its own group one-by-one with go-ahead messages,
+// PTO rounds apart.  A live recipient becomes active (its first checkpoint
+// broadcast reaches j, sending j back to passive); if all probes go
+// unanswered j becomes active itself.  By convention every process starts
+// with a fictitious ordinary message (0, g_j) from process 0 at round 0.
+//
+// Guarantees (Theorem 2.8): work <= 3n, messages <= 10*t*sqrt(t), all
+// processes retired by round 3n + 8t.
+#pragma once
+
+#include "core/work.h"
+#include "protocols/protocol_a.h"
+
+namespace dowork {
+
+struct GoAhead final : Payload {};
+
+class ProtocolBProcess final : public IProcess {
+ public:
+  ProtocolBProcess(const DoAllConfig& cfg, int self, Round start_round = 0);
+
+  Action on_round(const RoundContext& ctx, const std::vector<Envelope>& inbox) override;
+  Round next_wake(const Round& now) const override;
+  std::string describe() const override;
+
+  bool is_active() const { return state_ == State::kActive; }
+
+  // Timeout functions, exposed for tests (all in rounds).
+  std::uint64_t pto() const { return pto_; }
+  std::uint64_t gto(int i) const;
+  std::uint64_t ddb(int i) const;  // DDB(self, i)
+
+ private:
+  enum class State { kPassive, kPreactive, kActive, kDone };
+
+  void ingest(const Envelope& env);
+  void activate();
+  void enter_preactive(const Round& now);
+  Action pop_plan();
+  Round passive_deadline() const;
+
+  GroupLayout layout_;
+  WorkPartition part_;
+  std::int64_t n_;
+  int t_;
+  int self_;
+  Round start_round_;
+  std::uint64_t pto_;
+
+  State state_ = State::kPassive;
+  bool completion_seen_ = false;
+  bool go_ahead_pending_ = false;  // received this round, handled in on_round
+  LastCheckpoint last_;
+  std::deque<ActiveOp> plan_;
+
+  // Preactive probing state.
+  Round preactive_start_;
+  std::vector<int> probe_targets_;
+  std::size_t next_probe_ = 0;
+};
+
+}  // namespace dowork

@@ -1,0 +1,215 @@
+#include "protocols/protocol_d.h"
+
+#include <algorithm>
+
+namespace dowork {
+
+ProtocolDProcess::ProtocolDProcess(const DoAllConfig& cfg, int self)
+    : n_(cfg.n), t_(cfg.t), self_(self) {
+  cfg.validate();
+  s_.assign(static_cast<std::size_t>(n_), 1);
+  t_alive_.assign(static_cast<std::size_t>(t_), 1);
+  grace_ = 0;  // phase 1 starts in lockstep: no grace iteration needed
+}
+
+std::uint64_t ProtocolDProcess::count(const std::vector<std::uint8_t>& bits) const {
+  std::uint64_t c = 0;
+  for (std::uint8_t b : bits) c += b;
+  return c;
+}
+
+void ProtocolDProcess::enter_work_phase(const Round& now) {
+  // Figure 4 line 5: among the units still outstanding, take the slice of
+  // ceil(|S|/|T|) whose gradeS-rank matches our gradeT-rank.
+  std::vector<std::int64_t> outstanding;
+  for (std::int64_t u = 1; u <= n_; ++u)
+    if (s_[static_cast<std::size_t>(u - 1)]) outstanding.push_back(u);
+  const std::uint64_t alive = std::max<std::uint64_t>(1, count(t_alive_));
+  const std::int64_t w = ceil_div(static_cast<std::int64_t>(outstanding.size()),
+                                  static_cast<std::int64_t>(alive));
+  my_slice_.clear();
+  slice_pos_ = 0;
+  if (t_alive_[static_cast<std::size_t>(self_)]) {
+    std::int64_t rank = 0;
+    for (int i = 0; i < self_; ++i) rank += t_alive_[static_cast<std::size_t>(i)];
+    const std::int64_t from = rank * w;
+    const std::int64_t to =
+        std::min<std::int64_t>(from + w, static_cast<std::int64_t>(outstanding.size()));
+    for (std::int64_t k = from; k < to; ++k)
+      my_slice_.push_back(outstanding[static_cast<std::size_t>(k)]);
+  }
+  // Everyone spends exactly ceil(|S|/|T|) rounds in the phase (line 7) so the
+  // agreement phases stay aligned.
+  work_end_ = now + Round{static_cast<std::uint64_t>(w)};
+  // Line 8: S := S \ S' -- if we live to broadcast, the slice was performed.
+  for (std::int64_t u : my_slice_) s_[static_cast<std::size_t>(u - 1)] = 0;
+}
+
+void ProtocolDProcess::enter_agree_phase(const Round&) {
+  u_ = t_alive_;
+  tn_.assign(static_cast<std::size_t>(t_), 0);
+  tn_[static_cast<std::size_t>(self_)] = 1;
+  sn_ = s_;
+  iter_ = 0;
+  done_ = false;
+}
+
+Action ProtocolDProcess::agree_broadcast(bool done) {
+  Action a;
+  auto payload = std::make_shared<AgreeMsg>(phase_, sn_, tn_, done);
+  for (int i = 0; i < t_; ++i)
+    if (i != self_ && u_[static_cast<std::size_t>(i)])
+      a.sends.push_back(Outgoing{i, MsgKind::kAgreement, payload});
+  return a;
+}
+
+void ProtocolDProcess::finish_agree(const Round& now) {
+  const std::uint64_t old_alive = count(t_alive_);
+  s_ = sn_;
+  t_alive_ = tn_;
+  const std::uint64_t new_alive = std::max<std::uint64_t>(1, count(t_alive_));
+
+  if (old_alive > 2 * new_alive) {
+    // Figure 4 lines 11-13: more than half the processes died this phase;
+    // hand the leftovers to Protocol A (work-optimal regardless of failure
+    // pattern) rather than risking the adaptive-adversary lower bound.
+    std::vector<std::int64_t> units;
+    for (std::int64_t u = 1; u <= n_; ++u)
+      if (s_[static_cast<std::size_t>(u - 1)]) units.push_back(u);
+    if (units.empty() || !t_alive_[static_cast<std::size_t>(self_)]) {
+      terminated_ = true;
+      phase_kind_ = PhaseKind::kFinished;
+      return;
+    }
+    // Renumber the agreed survivors 0..|T|-1 so Protocol A's deadlines scale
+    // with the survivor count (Theorem 4.1 case 2 applies Theorem 2.3 with
+    // t/2 processes); the wrapper translates ids on the wire.
+    rank_to_id_.clear();
+    id_to_rank_.assign(static_cast<std::size_t>(t_), -1);
+    for (int i = 0; i < t_; ++i) {
+      if (t_alive_[static_cast<std::size_t>(i)]) {
+        id_to_rank_[static_cast<std::size_t>(i)] = static_cast<int>(rank_to_id_.size());
+        rank_to_id_.push_back(i);
+      }
+    }
+    DoAllConfig sub{static_cast<std::int64_t>(units.size()),
+                    static_cast<int>(rank_to_id_.size())};
+    revert_ = std::make_unique<ProtocolAProcess>(
+        sub, id_to_rank_[static_cast<std::size_t>(self_)], now + Round{1}, std::move(units));
+    phase_kind_ = PhaseKind::kRevertA;
+    return;
+  }
+  if (count(s_) == 0 || !t_alive_[static_cast<std::size_t>(self_)]) {
+    terminated_ = true;
+    phase_kind_ = PhaseKind::kFinished;
+    return;
+  }
+  ++phase_;
+  grace_ = 1;  // later phases absorb the <=1 round skew from done-adoption
+  phase_kind_ = PhaseKind::kWork;
+  work_entered_ = false;
+  seen_.clear();
+}
+
+Action ProtocolDProcess::on_round(const RoundContext& ctx, const std::vector<Envelope>& inbox) {
+  if (terminated_) {
+    Action a;
+    a.terminate = true;
+    return a;
+  }
+  if (phase_kind_ == PhaseKind::kRevertA) {
+    std::vector<Envelope> translated;
+    for (const Envelope& env : inbox) {
+      if (env.from < 0 || id_to_rank_[static_cast<std::size_t>(env.from)] < 0)
+        continue;  // stale pre-revert traffic
+      Envelope e = env;
+      e.from = id_to_rank_[static_cast<std::size_t>(env.from)];
+      translated.push_back(std::move(e));
+    }
+    Action a = revert_->on_round(ctx, translated);
+    for (Outgoing& o : a.sends) o.to = rank_to_id_[static_cast<std::size_t>(o.to)];
+    return a;
+  }
+
+  // Stash this phase's agreement messages (they may arrive one round early
+  // when a peer finished the previous agreement before us).
+  for (const Envelope& env : inbox) {
+    if (const auto* m = env.as<AgreeMsg>(); m != nullptr && m->phase == phase_)
+      seen_[env.from] = std::static_pointer_cast<const AgreeMsg>(env.payload);
+  }
+
+  if (phase_kind_ == PhaseKind::kWork) {
+    if (!work_entered_) {
+      work_entered_ = true;
+      enter_work_phase(ctx.round);
+    }
+    if (ctx.round < work_end_) {
+      Action a;
+      if (slice_pos_ < my_slice_.size()) a.work = my_slice_[slice_pos_++];
+      return a;
+    }
+    phase_kind_ = PhaseKind::kAgree;
+    enter_agree_phase(ctx.round);
+    return agree_broadcast(false);  // iteration-0 broadcast
+  }
+
+  // Agreement phase, receive-check for iteration iter_ (peers' iteration-k
+  // broadcasts arrive one simulator round after they were sent).
+  bool adopted = false;
+  for (const auto& [i, msg] : seen_) {
+    if (msg->done) {
+      sn_ = msg->s_left;
+      tn_ = msg->t_alive;
+      adopted = true;
+      break;
+    }
+  }
+  bool removed_any = false;
+  if (!adopted) {
+    for (const auto& [i, msg] : seen_) {
+      for (std::size_t k = 0; k < sn_.size(); ++k) sn_[k] &= msg->s_left[k];
+      for (std::size_t k = 0; k < tn_.size(); ++k) tn_[k] |= msg->t_alive[k];
+    }
+    if (iter_ >= grace_) {
+      for (int i = 0; i < t_; ++i) {
+        if (i != self_ && u_[static_cast<std::size_t>(i)] && seen_.find(i) == seen_.end()) {
+          u_[static_cast<std::size_t>(i)] = 0;  // silent => crashed
+          removed_any = true;
+        }
+      }
+    }
+  }
+  seen_.clear();
+  const bool stable = !removed_any && iter_ >= grace_;
+  ++iter_;
+
+  if (adopted || stable) {
+    Action a = agree_broadcast(true);  // line 20: final view, done = true
+    finish_agree(ctx.round);
+    if (terminated_) a.terminate = true;
+    return a;
+  }
+  return agree_broadcast(false);
+}
+
+Round ProtocolDProcess::next_wake(const Round& now) const {
+  if (terminated_) return never_round();
+  switch (phase_kind_) {
+    case PhaseKind::kRevertA:
+      return revert_->next_wake(now);
+    case PhaseKind::kWork:
+      if (!work_entered_ || slice_pos_ < my_slice_.size()) return now;
+      return work_end_ > now ? work_end_ : now;
+    case PhaseKind::kAgree:
+      return now;
+    case PhaseKind::kFinished:
+      return now;  // wake once more to emit the terminate action
+  }
+  return never_round();
+}
+
+std::string ProtocolDProcess::describe() const {
+  return "ProtocolD[" + std::to_string(self_) + ",phase=" + std::to_string(phase_) + "]";
+}
+
+}  // namespace dowork

@@ -1,0 +1,82 @@
+// Coordinator variant of Protocol D (paper Section 4, closing remark):
+// "We can also cut down the message complexity in the case of no failures to
+// 2(t-1), rather than 2t^2 ... Instead of messages being broadcast during
+// the agreement phase, they are all sent to a central coordinator, who
+// broadcasts the results. ... Dealing with failures is somewhat subtle."
+//
+// The subtlety is the mixed state a crashed coordinator can leave behind (a
+// prefix of the final-view broadcast delivered).  This implementation
+// resolves it with fixed per-phase offsets and a reactive fallback:
+//
+//   R      work phase ends; every non-coordinator sends its view (one
+//          message) to the coordinator = lowest-id process believed alive;
+//   R+1..2 the coordinator collects reports (the extra round absorbs the
+//          <=1 round of skew) and then broadcasts the merged final view;
+//   R+3..4 participants await the final view;
+//   R+5    anyone still lacking it starts a *fallback*: the standard
+//          broadcast agreement (grace 2);
+//   R+5..7 processes that did adopt the final view listen; on hearing any
+//          fallback traffic they re-broadcast the adopted view as a done
+//          message, which the fallback's done-adoption absorbs -- so every
+//          survivor leaves the phase with the same view whether or not the
+//          coordinator (or any adopter) died mid-broadcast;
+//   R+8    everyone enters the next work phase (or terminates/reverts).
+//
+// Failure-free cost per agreement phase: (t-1) reports + (t-1) final-view
+// messages = 2(t-1), at a constant number of extra (message-free) rounds
+// relative to the broadcast variant -- the trade the paper describes.
+#pragma once
+
+#include "protocols/protocol_d.h"
+
+namespace dowork {
+
+class ProtocolDCoordProcess final : public IProcess {
+ public:
+  ProtocolDCoordProcess(const DoAllConfig& cfg, int self);
+
+  Action on_round(const RoundContext& ctx, const std::vector<Envelope>& inbox) override;
+  Round next_wake(const Round& now) const override;
+  std::string describe() const override;
+
+ private:
+  enum class PhaseKind { kWork, kAgrCoord, kAgrAwait, kAgrListen, kAgrFallback, kRevertA,
+                         kFinished };
+
+  int coordinator() const;  // lowest-id process believed alive
+  void enter_work_phase(const Round& now);
+  Action broadcast_view(bool done);
+  void finish_phase(const Round& now);
+  std::uint64_t count(const std::vector<std::uint8_t>& bits) const;
+
+  std::int64_t n_;
+  int t_;
+  int self_;
+
+  PhaseKind phase_kind_ = PhaseKind::kWork;
+  int phase_ = 1;
+  std::vector<std::uint8_t> s_, t_alive_;
+
+  std::vector<std::int64_t> my_slice_;
+  std::size_t slice_pos_ = 0;
+  Round work_end_;  // == this phase's agreement entry round R
+  bool work_entered_ = false;
+
+  // Agreement state.
+  std::vector<std::uint8_t> u_, tn_, sn_;
+  std::map<int, std::shared_ptr<const AgreeMsg>> seen_;
+  Round agr_entry_;        // R
+  bool report_sent_ = false;
+  bool final_broadcast_ = false;
+  bool responded_ = false;
+  int iter_ = 0;           // fallback iteration counter
+  bool in_fallback_ = false;
+  Round resume_at_;        // next work-phase entry round
+
+  std::unique_ptr<ProtocolAProcess> revert_;
+  std::vector<int> rank_to_id_;
+  std::vector<int> id_to_rank_;
+  bool terminated_ = false;
+};
+
+}  // namespace dowork

@@ -1,0 +1,137 @@
+// Crash-fault injection.
+//
+// The adversary may crash a process at any point during its round.  Per the
+// paper (Section 2.1): a process can crash in the middle of a broadcast so
+// that "only some subset of the processes receive the message", and it can
+// crash immediately after performing a unit of work, before reporting it.
+// CrashPlan captures both degrees of freedom.  The simulator never allows
+// the last surviving process to crash: the problem statement only requires
+// completion of the work in executions where at least one process survives,
+// and all protocols assume at most t-1 failures.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/process.h"
+#include "util/biguint.h"
+#include "util/rng.h"
+
+namespace dowork {
+
+struct CrashPlan {
+  // Does the in-progress work unit (if any) complete before the crash?
+  bool work_completes = false;
+  // Which of the in-progress sends actually leave the process.  Interpreted
+  // as a prefix length into Action::sends; SIZE_MAX means "all".
+  std::size_t deliver_prefix = 0;
+};
+
+struct SimSnapshot {
+  int t = 0;            // total number of processes
+  int alive = 0;        // processes neither crashed nor terminated
+  int crashed_so_far = 0;
+};
+
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+  // Inspect the action process `proc` is about to take in `round`; return a
+  // CrashPlan to kill it mid-round, or nullopt to let it live.
+  virtual std::optional<CrashPlan> inspect(int proc, const Round& round, const Action& action,
+                                           const SimSnapshot& snap) = 0;
+};
+
+// No process ever fails.
+class NoFaults final : public FaultInjector {
+ public:
+  std::optional<CrashPlan> inspect(int, const Round&, const Action&,
+                                   const SimSnapshot&) override {
+    return std::nullopt;
+  }
+};
+
+// Explicit schedule: kill `proc` on the k-th round in which it takes a
+// non-idle action (k counted from 1), with the given plan.  Used by tests to
+// craft exact adversarial executions.
+class ScheduledFaults final : public FaultInjector {
+ public:
+  struct Entry {
+    int proc = -1;
+    std::uint64_t on_nth_action = 1;  // 1 = first non-idle action
+    CrashPlan plan;
+  };
+  explicit ScheduledFaults(std::vector<Entry> entries);
+
+  std::optional<CrashPlan> inspect(int proc, const Round& round, const Action& action,
+                                   const SimSnapshot& snap) override;
+
+ private:
+  std::vector<Entry> entries_;
+  std::vector<std::uint64_t> action_count_;  // grown on demand, per process
+};
+
+// Worst-case style adversary for the sequential protocols: lets whichever
+// process is currently doing work perform `units_before_crash` units, then
+// crashes it (work unit completing, broadcasts truncated to
+// `deliver_prefix`), until `max_crashes` processes have died.  This produces
+// the takeover cascades that drive the paper's upper-bound analyses.
+class WorkCascadeFaults final : public FaultInjector {
+ public:
+  WorkCascadeFaults(std::uint64_t units_before_crash, int max_crashes,
+                    std::size_t deliver_prefix = 0, bool crash_completes_unit = true);
+
+  std::optional<CrashPlan> inspect(int proc, const Round& round, const Action& action,
+                                   const SimSnapshot& snap) override;
+
+ private:
+  std::uint64_t units_before_crash_;
+  int max_crashes_;
+  std::size_t deliver_prefix_;
+  bool crash_completes_unit_;
+  std::vector<std::uint64_t> units_done_;  // per process, grown on demand
+};
+
+// Crashes any process the moment it performs the given work unit (the unit
+// completes; in-progress sends are truncated to `deliver_prefix`), up to
+// max_crashes times.  With unit = n this is the Section 3 adversary: every
+// takeover finishes the tail of the work and dies before its final report,
+// which drives the naive most-knowledgeable-takeover protocol to Theta(n +
+// t^2) effort while Protocol C's fault detection keeps it linear.
+class CrashOnUnitFaults final : public FaultInjector {
+ public:
+  CrashOnUnitFaults(std::int64_t unit, int max_crashes, std::size_t deliver_prefix = 0)
+      : unit_(unit), max_crashes_(max_crashes), deliver_prefix_(deliver_prefix) {}
+
+  std::optional<CrashPlan> inspect(int, const Round&, const Action& action,
+                                   const SimSnapshot& snap) override {
+    if (snap.crashed_so_far >= max_crashes_) return std::nullopt;
+    if (!action.work || *action.work != unit_) return std::nullopt;
+    return CrashPlan{/*work_completes=*/true, deliver_prefix_};
+  }
+
+ private:
+  std::int64_t unit_;
+  int max_crashes_;
+  std::size_t deliver_prefix_;
+};
+
+// Each stepped, non-idle round every live process crashes with probability p
+// (independent draws) until max_crashes have occurred.  Broadcast delivery
+// on crash is a random prefix; the pending unit completes with prob 1/2.
+class RandomFaults final : public FaultInjector {
+ public:
+  RandomFaults(double p_per_round, int max_crashes, std::uint64_t seed);
+
+  std::optional<CrashPlan> inspect(int proc, const Round& round, const Action& action,
+                                   const SimSnapshot& snap) override;
+
+ private:
+  double p_;
+  int max_crashes_;
+  Rng rng_;
+};
+
+}  // namespace dowork

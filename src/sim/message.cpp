@@ -1,0 +1,27 @@
+#include "sim/message.h"
+
+namespace dowork {
+
+const char* to_string(MsgKind k) {
+  switch (k) {
+    case MsgKind::kOrdinary: return "ordinary";
+    case MsgKind::kCheckpoint: return "checkpoint";
+    case MsgKind::kGoAhead: return "go_ahead";
+    case MsgKind::kPoll: return "poll";
+    case MsgKind::kPollReply: return "poll_reply";
+    case MsgKind::kAgreement: return "agreement";
+    case MsgKind::kValue: return "value";
+    case MsgKind::kOther: return "other";
+  }
+  return "?";
+}
+
+std::vector<Outgoing> broadcast(const std::vector<int>& recipients, MsgKind kind,
+                                std::shared_ptr<const Payload> payload) {
+  std::vector<Outgoing> out;
+  out.reserve(recipients.size());
+  for (int r : recipients) out.push_back(Outgoing{r, kind, payload});
+  return out;
+}
+
+}  // namespace dowork

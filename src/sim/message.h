@@ -1,0 +1,68 @@
+// Message model for the synchronous crash-fault simulator.
+//
+// A message sent in round r is delivered at the start of round r+1.  Payloads
+// are protocol-defined: each protocol derives its payload structs from
+// Payload and downcasts on receipt (the simulator never inspects payloads).
+// The `kind` tag exists so the metrics layer can break message counts down
+// the way the paper does (ordinary vs checkpoint vs go-ahead vs poll...).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/biguint.h"
+
+namespace dowork {
+
+// Classification used only for accounting; protocols choose the tag that
+// matches the paper's terminology for each send.
+enum class MsgKind : std::uint8_t {
+  kOrdinary,     // Protocol C "ordinary" messages; generic data messages
+  kCheckpoint,   // Protocol A/B partial & full checkpoint broadcasts
+  kGoAhead,      // Protocol B go-ahead probes
+  kPoll,         // Protocol C "Are you alive?"
+  kPollReply,    // response to a poll (exempt from the one-op-per-round rule)
+  kAgreement,    // Protocol D agreement-phase broadcasts
+  kValue,        // Byzantine layer: "the general's value is x"
+  kOther,
+};
+
+const char* to_string(MsgKind k);
+
+// Base class for protocol payloads.  Payloads are immutable after send and
+// shared between the copies delivered to each recipient of a broadcast.
+struct Payload {
+  virtual ~Payload() = default;
+};
+
+// A message as handed to the simulator by a process (destination chosen,
+// round filled in by the simulator).
+struct Outgoing {
+  int to = -1;
+  MsgKind kind = MsgKind::kOther;
+  std::shared_ptr<const Payload> payload;
+};
+
+// A delivered message as seen by the recipient.
+struct Envelope {
+  int from = -1;
+  int to = -1;
+  MsgKind kind = MsgKind::kOther;
+  Round sent_round;  // round in which the sender emitted it
+  std::shared_ptr<const Payload> payload;
+
+  // Convenience downcast; returns nullptr if the payload has a different
+  // dynamic type.
+  template <typename T>
+  const T* as() const {
+    return dynamic_cast<const T*>(payload.get());
+  }
+};
+
+// Helper: broadcast one payload to a list of recipients.
+std::vector<Outgoing> broadcast(const std::vector<int>& recipients, MsgKind kind,
+                                std::shared_ptr<const Payload> payload);
+
+}  // namespace dowork

@@ -1,0 +1,22 @@
+#include "sim/metrics.h"
+
+#include <sstream>
+
+namespace dowork {
+
+bool RunMetrics::all_units_done() const {
+  for (std::uint64_t m : unit_multiplicity)
+    if (m == 0) return false;
+  return true;
+}
+
+std::string RunMetrics::summary() const {
+  std::ostringstream os;
+  os << "work=" << work_total << " msgs=" << messages_total
+     << " effort=" << effort() << " rounds=" << last_retire_round.to_string()
+     << " crashes=" << crashes << " done=" << (all_units_done() ? "yes" : "NO")
+     << " retired=" << (all_retired ? "yes" : "NO");
+  return os.str();
+}
+
+}  // namespace dowork

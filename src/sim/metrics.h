@@ -1,0 +1,59 @@
+// Run metrics: the paper's three complexity measures (work, messages, time)
+// plus the breakdowns its proofs reason about.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/message.h"
+#include "util/biguint.h"
+
+namespace dowork {
+
+struct RunMetrics {
+  // --- the paper's measures -------------------------------------------------
+  std::uint64_t work_total = 0;     // units performed, counting multiplicity
+  std::uint64_t messages_total = 0; // point-to-point sends that left a process
+  Round last_retire_round;          // round by which every process has retired
+  std::uint64_t effort() const { return work_total + messages_total; }
+
+  // Kanellakis-Shvartsman's *available processor steps* (Section 1.1): the
+  // sum over rounds, while the algorithm runs, of the number of non-faulty
+  // processes -- charging idle processes for every round they merely wait.
+  // The paper argues against this measure for message passing (idle
+  // processes are free to do other tasks); tracking it here makes the
+  // contrast measurable (Protocol C's APS is astronomically large while its
+  // effort is optimal).  512-bit: fast-forwarded idle eons are charged too.
+  Round available_processor_steps;
+
+  // --- breakdowns -----------------------------------------------------------
+  std::array<std::uint64_t, 8> messages_by_kind{};  // indexed by MsgKind
+  std::uint64_t crashes = 0;
+  std::uint64_t terminated = 0;
+  std::uint64_t stepped_rounds = 0;      // rounds actually simulated (not skipped)
+  std::uint64_t fast_forward_jumps = 0;  // idle stretches skipped
+  // Max number of distinct processes performing work in a single round.
+  // == 1 for the sequential protocols (A/B/C), up to t for Protocol D.
+  std::uint64_t max_concurrent_workers = 0;
+  // Per-unit multiplicity (how often each unit of work was performed); the
+  // work-optimality proofs bound sum(multiplicity) <= c*n + c'*t.
+  std::vector<std::uint64_t> unit_multiplicity;  // index = unit-1
+  std::vector<std::uint64_t> work_by_proc;
+  std::vector<std::uint64_t> messages_by_proc;
+
+  // --- outcome --------------------------------------------------------------
+  bool all_retired = false;   // run ended with every process crashed/terminated
+  bool deadlocked = false;    // run ended because nothing could ever happen again
+  bool hit_round_cap = false;
+
+  std::uint64_t messages_of(MsgKind k) const {
+    return messages_by_kind[static_cast<std::size_t>(k)];
+  }
+  // True iff every unit 1..n was performed at least once.
+  bool all_units_done() const;
+  std::string summary() const;
+};
+
+}  // namespace dowork

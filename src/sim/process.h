@@ -1,0 +1,60 @@
+// Process interface for the synchronous simulator.
+//
+// The paper's model: in one time unit a process may compute locally and
+// perform one unit of work OR one round of communication (one broadcast).
+// Accordingly a process's per-round Action carries at most one work unit or
+// one broadcast; the simulator can enforce this in strict mode (poll replies
+// are exempt, matching the paper's treatment of inactive processes that
+// "only send responses to 'Are you alive?' messages").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/message.h"
+#include "util/biguint.h"
+
+namespace dowork {
+
+// Sentinel wake time for processes with no pending timer.
+Round never_round();
+
+// What a process does in one round.
+struct Action {
+  std::optional<std::int64_t> work;  // 1-based unit id to perform this round
+  std::vector<Outgoing> sends;       // messages emitted this round
+  bool terminate = false;            // retire (voluntarily) at end of round
+
+  static Action none() { return {}; }
+  bool idle() const { return !work && sends.empty() && !terminate; }
+};
+
+struct RoundContext {
+  Round round;  // current round number (starts at 0)
+  int self = -1;
+};
+
+// A protocol participant.  Implementations are plain deterministic state
+// machines: all inputs arrive via on_round, all outputs leave via Action.
+class IProcess {
+ public:
+  virtual ~IProcess() = default;
+
+  // Called when the process is scheduled in a round: either its wake time
+  // arrived or the inbox is non-empty.  `inbox` holds every message sent to
+  // it in the previous round (empty vector otherwise).
+  virtual Action on_round(const RoundContext& ctx, const std::vector<Envelope>& inbox) = 0;
+
+  // Earliest round >= `now` at which the process wants to be scheduled if it
+  // receives no further messages; never_round() if it is purely reactive.
+  // Used by the simulator to fast-forward over idle stretches (essential for
+  // Protocol C, whose deadlines are exponential in n+t).
+  virtual Round next_wake(const Round& now) const = 0;
+
+  // Diagnostic label.
+  virtual std::string describe() const { return "process"; }
+};
+
+}  // namespace dowork

@@ -1,0 +1,190 @@
+#include "sim/simulator.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace dowork {
+
+Round never_round() {
+  // All-ones 512-bit value: larger than any reachable round.
+  Round r;
+  for (int i = 0; i < 512; ++i) r += BigUint::pow2(static_cast<unsigned>(i));
+  return r;
+}
+
+namespace {
+const Round& never() {
+  static const Round r = never_round();
+  return r;
+}
+}  // namespace
+
+Simulator::Simulator(std::vector<std::unique_ptr<IProcess>> processes,
+                     std::unique_ptr<FaultInjector> faults, Options options)
+    : procs_(std::move(processes)), faults_(std::move(faults)), opt_(options) {
+  const std::size_t t = procs_.size();
+  state_.assign(t, ProcState::kAlive);
+  inbox_.assign(t, {});
+  metrics_.work_by_proc.assign(t, 0);
+  metrics_.messages_by_proc.assign(t, 0);
+  metrics_.unit_multiplicity.assign(static_cast<std::size_t>(opt_.n_units), 0);
+}
+
+int Simulator::alive_count() const {
+  int n = 0;
+  for (ProcState s : state_)
+    if (s == ProcState::kAlive) ++n;
+  return n;
+}
+
+void Simulator::validate_strict(int proc, const Action& a) const {
+  // One op per round: a work unit or one broadcast (a common payload), with
+  // poll replies exempt.
+  std::size_t protocol_sends = 0;
+  const Payload* payload = nullptr;
+  bool mixed_payload = false;
+  for (const Outgoing& o : a.sends) {
+    if (o.kind == MsgKind::kPollReply) continue;
+    ++protocol_sends;
+    if (payload == nullptr) payload = o.payload.get();
+    else if (payload != o.payload.get()) mixed_payload = true;
+  }
+  if (a.work && protocol_sends > 0)
+    throw std::logic_error("strict mode: process " + std::to_string(proc) +
+                           " performed work and sent messages in one round");
+  if (mixed_payload)
+    throw std::logic_error("strict mode: process " + std::to_string(proc) +
+                           " emitted more than one broadcast in one round");
+}
+
+void Simulator::step_round(const Round& r) {
+  std::vector<Envelope> staging;
+  std::uint64_t workers_this_round = 0;
+
+  for (std::size_t p = 0; p < procs_.size(); ++p) {
+    if (state_[p] != ProcState::kAlive) continue;
+    const bool has_mail = !inbox_[p].empty();
+    if (!has_mail && procs_[p]->next_wake(r) > r) continue;
+
+    RoundContext ctx{r, static_cast<int>(p)};
+    Action a = procs_[p]->on_round(ctx, inbox_[p]);
+    inbox_[p].clear();
+    if (opt_.strict_one_op) validate_strict(static_cast<int>(p), a);
+
+    SimSnapshot snap{static_cast<int>(procs_.size()), alive_count(),
+                     static_cast<int>(metrics_.crashes)};
+    std::optional<CrashPlan> plan = faults_->inspect(static_cast<int>(p), r, a, snap);
+    if (plan && snap.alive <= 1) plan.reset();  // the last survivor never crashes
+
+    const bool work_done = a.work && (!plan || plan->work_completes);
+    if (work_done) {
+      ++metrics_.work_total;
+      ++metrics_.work_by_proc[p];
+      ++workers_this_round;
+      if (*a.work >= 1 && *a.work <= opt_.n_units)
+        ++metrics_.unit_multiplicity[static_cast<std::size_t>(*a.work - 1)];
+      if (work_sink_) work_sink_(static_cast<int>(p), *a.work, r);
+    }
+
+    const std::size_t deliver =
+        plan ? std::min(plan->deliver_prefix, a.sends.size()) : a.sends.size();
+    for (std::size_t s = 0; s < deliver; ++s) {
+      const Outgoing& o = a.sends[s];
+      if (o.to < 0 || o.to >= static_cast<int>(procs_.size()))
+        throw std::logic_error("send to nonexistent process " + std::to_string(o.to));
+      ++metrics_.messages_total;
+      ++metrics_.messages_by_proc[p];
+      ++metrics_.messages_by_kind[static_cast<std::size_t>(o.kind)];
+      if (state_[static_cast<std::size_t>(o.to)] == ProcState::kAlive) {
+        staging.push_back(Envelope{static_cast<int>(p), o.to, o.kind, r, o.payload});
+      }
+      // Sends to retired processes still count (they were emitted) but are
+      // never delivered.
+    }
+
+    if (plan) {
+      state_[p] = ProcState::kCrashed;
+      ++metrics_.crashes;
+    } else if (a.terminate) {
+      state_[p] = ProcState::kTerminated;
+      ++metrics_.terminated;
+    }
+  }
+
+  metrics_.max_concurrent_workers = std::max(metrics_.max_concurrent_workers, workers_this_round);
+  for (Envelope& e : staging) {
+    if (state_[static_cast<std::size_t>(e.to)] == ProcState::kAlive)
+      in_flight_.push_back(std::move(e));
+  }
+}
+
+RunMetrics Simulator::run() {
+  if (ran_) throw std::logic_error("Simulator::run called twice");
+  ran_ = true;
+
+  Round r = 0;
+  while (true) {
+    // Terminate when every process has retired.
+    if (alive_count() == 0) {
+      metrics_.all_retired = true;
+      break;
+    }
+    if (metrics_.stepped_rounds >= opt_.max_stepped_rounds) {
+      metrics_.hit_round_cap = true;
+      break;
+    }
+
+    // Deliver messages sent last stepped round (they were addressed to the
+    // round immediately after their send round; fast-forward never skips
+    // past deliveries because we only jump when in_flight_ is empty).
+    for (Envelope& e : in_flight_) inbox_[static_cast<std::size_t>(e.to)].push_back(std::move(e));
+    in_flight_.clear();
+
+    metrics_.available_processor_steps += Round{static_cast<std::uint64_t>(alive_count())};
+    step_round(r);
+    ++metrics_.stepped_rounds;
+    metrics_.last_retire_round = r;
+
+    if (alive_count() == 0) {
+      metrics_.all_retired = true;
+      break;
+    }
+
+    if (!in_flight_.empty()) {
+      r += 1;
+      continue;
+    }
+    // Fast-forward: jump to the earliest wake time over live processes.
+    Round next = never();
+    Round lower = r + Round{1};
+    for (std::size_t p = 0; p < procs_.size(); ++p) {
+      if (state_[p] != ProcState::kAlive) continue;
+      Round w = procs_[p]->next_wake(lower);
+      if (w < lower) w = lower;  // a process may not schedule itself in the past
+      if (w < next) next = w;
+    }
+    if (next == never()) {
+      metrics_.deadlocked = true;  // live processes, no mail, no timers
+      break;
+    }
+    if (next > lower) {
+      ++metrics_.fast_forward_jumps;
+      // Idle processes are charged by the available-processor-steps measure
+      // even across fast-forwarded stretches.
+      metrics_.available_processor_steps +=
+          (next - lower) * static_cast<std::uint64_t>(alive_count());
+    }
+    r = next;
+  }
+  return metrics_;
+}
+
+RunMetrics run_simulation(std::vector<std::unique_ptr<IProcess>> processes,
+                          std::unique_ptr<FaultInjector> faults, Simulator::Options options,
+                          Simulator::WorkSink sink) {
+  Simulator sim(std::move(processes), std::move(faults), options);
+  if (sink) sim.set_work_sink(std::move(sink));
+  return sim.run();
+}
+
+}  // namespace dowork

@@ -1,0 +1,82 @@
+// Synchronous round-based simulator with crash faults and fast-forward.
+//
+// Round structure (round r):
+//   1. Messages sent in round r-1 are delivered to recipient inboxes.
+//   2. Each live process that has mail or whose wake time arrived is stepped
+//      (in increasing id order; order is unobservable within a round since
+//      all sends land next round).
+//   3. The fault injector may crash a stepping process mid-round: the
+//      adversary decides whether its work unit completed and how much of its
+//      broadcast escaped (paper Section 2.1).
+//   4. If no messages are in flight, the simulator jumps straight to the
+//      earliest wake time over live processes ("fast-forward"), which is what
+//      makes Protocol C's 2^(n+t)-round executions exactly simulable.
+//
+// The run ends when every process has retired (crashed or terminated), or on
+// deadlock (nothing can ever happen again), or at the round cap.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/fault_injector.h"
+#include "sim/metrics.h"
+#include "sim/process.h"
+
+namespace dowork {
+
+enum class ProcState : std::uint8_t { kAlive, kCrashed, kTerminated };
+
+class Simulator {
+ public:
+  struct Options {
+    // Enforce the paper's one-operation-per-round accounting: a step may
+    // perform a work unit or emit one broadcast (all sends sharing a
+    // payload), not both; poll replies are exempt.  Violations throw.
+    bool strict_one_op = false;
+    // Safety cap on *stepped* rounds (fast-forward jumps don't count).
+    std::uint64_t max_stepped_rounds = 50'000'000;
+    // Number of distinct work units (for multiplicity tracking); 0 = none.
+    std::int64_t n_units = 0;
+  };
+
+  // Called whenever a unit of work is actually performed (post fault
+  // filtering).  Used by the Byzantine layer to attach effects to units.
+  using WorkSink = std::function<void(int proc, std::int64_t unit, const Round& round)>;
+
+  Simulator(std::vector<std::unique_ptr<IProcess>> processes,
+            std::unique_ptr<FaultInjector> faults, Options options);
+
+  void set_work_sink(WorkSink sink) { work_sink_ = std::move(sink); }
+
+  // Runs to completion and returns the metrics.  May be called once.
+  RunMetrics run();
+
+  // Post-run inspection.
+  ProcState state_of(int proc) const { return state_[static_cast<std::size_t>(proc)]; }
+  int alive_count() const;
+  const RunMetrics& metrics() const { return metrics_; }
+
+ private:
+  void step_round(const Round& r);
+  void validate_strict(int proc, const Action& a) const;
+
+  std::vector<std::unique_ptr<IProcess>> procs_;
+  std::unique_ptr<FaultInjector> faults_;
+  Options opt_;
+  WorkSink work_sink_;
+
+  std::vector<ProcState> state_;
+  std::vector<std::vector<Envelope>> inbox_;    // delivered this round
+  std::vector<Envelope> in_flight_;             // sent this round, lands next
+  RunMetrics metrics_;
+  bool ran_ = false;
+};
+
+// Convenience: build, run, and return metrics in one call.
+RunMetrics run_simulation(std::vector<std::unique_ptr<IProcess>> processes,
+                          std::unique_ptr<FaultInjector> faults, Simulator::Options options,
+                          Simulator::WorkSink sink = nullptr);
+
+}  // namespace dowork

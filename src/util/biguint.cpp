@@ -1,0 +1,136 @@
+#include "util/biguint.h"
+
+#include <stdexcept>
+
+namespace dowork {
+
+BigUint BigUint::pow2(unsigned e) {
+  if (e >= 64 * kLimbs) throw std::overflow_error("BigUint::pow2: exponent too large");
+  BigUint r;
+  r.limbs_[e / 64] = std::uint64_t{1} << (e % 64);
+  return r;
+}
+
+BigUint& BigUint::operator+=(const BigUint& rhs) {
+  unsigned __int128 carry = 0;
+  for (int i = 0; i < kLimbs; ++i) {
+    unsigned __int128 s = carry + limbs_[i] + rhs.limbs_[i];
+    limbs_[i] = static_cast<std::uint64_t>(s);
+    carry = s >> 64;
+  }
+  if (carry != 0) throw std::overflow_error("BigUint: addition overflow");
+  return *this;
+}
+
+BigUint& BigUint::operator-=(const BigUint& rhs) {
+  std::uint64_t borrow = 0;
+  for (int i = 0; i < kLimbs; ++i) {
+    std::uint64_t r = rhs.limbs_[i];
+    std::uint64_t before = limbs_[i];
+    std::uint64_t mid = before - r;
+    std::uint64_t after = mid - borrow;
+    // Borrow out if either subtraction wrapped.
+    borrow = (before < r) || (mid < borrow) ? 1 : 0;
+    limbs_[i] = after;
+  }
+  if (borrow != 0) throw std::underflow_error("BigUint: subtraction underflow");
+  return *this;
+}
+
+BigUint& BigUint::operator*=(std::uint64_t rhs) {
+  unsigned __int128 carry = 0;
+  for (int i = 0; i < kLimbs; ++i) {
+    unsigned __int128 p = static_cast<unsigned __int128>(limbs_[i]) * rhs + carry;
+    limbs_[i] = static_cast<std::uint64_t>(p);
+    carry = p >> 64;
+  }
+  if (carry != 0) throw std::overflow_error("BigUint: multiplication overflow");
+  return *this;
+}
+
+BigUint& BigUint::operator<<=(unsigned sh) {
+  if (sh == 0) return *this;
+  unsigned limb_sh = sh / 64;
+  unsigned bit_sh = sh % 64;
+  // Check the bits that would be shifted out.
+  for (int i = kLimbs - static_cast<int>(limb_sh); i < kLimbs; ++i) {
+    if (i >= 0 && limbs_[static_cast<size_t>(i)] != 0)
+      throw std::overflow_error("BigUint: shift overflow");
+  }
+  if (limb_sh >= static_cast<unsigned>(kLimbs)) {
+    if (!is_zero()) throw std::overflow_error("BigUint: shift overflow");
+    return *this;
+  }
+  if (bit_sh != 0 && limb_sh + 1 <= static_cast<unsigned>(kLimbs) &&
+      (limbs_[kLimbs - 1 - limb_sh] >> (64 - bit_sh)) != 0) {
+    throw std::overflow_error("BigUint: shift overflow");
+  }
+  for (int i = kLimbs - 1; i >= 0; --i) {
+    std::uint64_t v = 0;
+    int src = i - static_cast<int>(limb_sh);
+    if (src >= 0) {
+      v = limbs_[static_cast<size_t>(src)] << bit_sh;
+      if (bit_sh != 0 && src - 1 >= 0)
+        v |= limbs_[static_cast<size_t>(src - 1)] >> (64 - bit_sh);
+    }
+    limbs_[static_cast<size_t>(i)] = v;
+  }
+  return *this;
+}
+
+std::strong_ordering operator<=>(const BigUint& a, const BigUint& b) {
+  for (int i = BigUint::kLimbs - 1; i >= 0; --i) {
+    if (a.limbs_[static_cast<size_t>(i)] != b.limbs_[static_cast<size_t>(i)])
+      return a.limbs_[static_cast<size_t>(i)] <=> b.limbs_[static_cast<size_t>(i)];
+  }
+  return std::strong_ordering::equal;
+}
+
+bool BigUint::is_zero() const {
+  for (auto l : limbs_)
+    if (l != 0) return false;
+  return true;
+}
+
+bool BigUint::fits_u64() const {
+  for (int i = 1; i < kLimbs; ++i)
+    if (limbs_[static_cast<size_t>(i)] != 0) return false;
+  return true;
+}
+
+std::uint64_t BigUint::to_u64_saturating() const {
+  return fits_u64() ? limbs_[0] : UINT64_MAX;
+}
+
+std::string BigUint::to_string() const {
+  if (is_zero()) return "0";
+  // Repeated division by 10^19 (largest power of 10 in a u64).
+  constexpr std::uint64_t kChunk = 10'000'000'000'000'000'000ull;
+  BigUint v = *this;
+  std::string out;
+  while (!v.is_zero()) {
+    unsigned __int128 rem = 0;
+    for (int i = kLimbs - 1; i >= 0; --i) {
+      unsigned __int128 cur = (rem << 64) | v.limbs_[static_cast<size_t>(i)];
+      v.limbs_[static_cast<size_t>(i)] = static_cast<std::uint64_t>(cur / kChunk);
+      rem = cur % kChunk;
+    }
+    std::string part = std::to_string(static_cast<std::uint64_t>(rem));
+    if (!v.is_zero()) part = std::string(19 - part.size(), '0') + part;
+    out = part + out;
+  }
+  return out;
+}
+
+int BigUint::log2_floor() const {
+  for (int i = kLimbs - 1; i >= 0; --i) {
+    if (limbs_[static_cast<size_t>(i)] != 0) {
+      return i * 64 + 63 - __builtin_clzll(limbs_[static_cast<size_t>(i)]);
+    }
+  }
+  return -1;
+}
+
+std::string to_string(const BigUint& v) { return v.to_string(); }
+
+}  // namespace dowork

@@ -1,0 +1,63 @@
+// 512-bit unsigned integer used as the simulator's round-number ("time") type.
+//
+// Protocol C (Dwork-Halpern-Waarts Section 3) schedules takeover deadlines of
+// the form D(i,m) = K(n+t-m) * 2^(n+t-1-m) rounds; for the experiment sizes we
+// reproduce, these values overflow 64- and 128-bit integers but fit easily in
+// 512 bits (n + t up to ~450).  Arithmetic throws on overflow/underflow so a
+// mis-sized experiment fails loudly rather than corrupting deadline ordering,
+// which the protocol's correctness proof depends on.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace dowork {
+
+class BigUint {
+ public:
+  static constexpr int kLimbs = 8;  // 8 x 64 = 512 bits
+
+  constexpr BigUint() : limbs_{} {}
+  constexpr BigUint(std::uint64_t v) : limbs_{} { limbs_[0] = v; }  // NOLINT: implicit by design
+
+  // 2^e.  Throws std::overflow_error if e >= 512.
+  static BigUint pow2(unsigned e);
+
+  BigUint& operator+=(const BigUint& rhs);
+  BigUint& operator-=(const BigUint& rhs);  // throws std::underflow_error if rhs > *this
+  BigUint& operator*=(std::uint64_t rhs);
+  BigUint& operator<<=(unsigned sh);
+
+  friend BigUint operator+(BigUint a, const BigUint& b) { return a += b; }
+  friend BigUint operator-(BigUint a, const BigUint& b) { return a -= b; }
+  friend BigUint operator*(BigUint a, std::uint64_t b) { return a *= b; }
+  friend BigUint operator*(std::uint64_t a, BigUint b) { return b *= a; }
+  friend BigUint operator<<(BigUint a, unsigned sh) { return a <<= sh; }
+
+  BigUint& operator++() { return *this += BigUint{1}; }
+
+  friend bool operator==(const BigUint& a, const BigUint& b) = default;
+  friend std::strong_ordering operator<=>(const BigUint& a, const BigUint& b);
+
+  bool is_zero() const;
+  bool fits_u64() const;
+  // Value as u64; saturates to UINT64_MAX when the value does not fit.
+  std::uint64_t to_u64_saturating() const;
+  // Exact decimal representation.
+  std::string to_string() const;
+  // floor(log2(v)); returns -1 for zero.  Used for compact reporting of
+  // Protocol C's astronomically large round counts.
+  int log2_floor() const;
+
+ private:
+  std::array<std::uint64_t, kLimbs> limbs_;  // little-endian limbs
+};
+
+// The simulator's round-number type.  Round 0 is the first round.
+using Round = BigUint;
+
+std::string to_string(const BigUint& v);
+
+}  // namespace dowork

@@ -1,0 +1,26 @@
+#include "util/rng.h"
+
+#include <algorithm>
+
+namespace dowork {
+
+std::uint64_t Rng::uniform(std::uint64_t lo, std::uint64_t hi) {
+  std::uniform_int_distribution<std::uint64_t> d(lo, hi);
+  return d(engine_);
+}
+
+bool Rng::chance(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  std::uniform_real_distribution<double> d(0.0, 1.0);
+  return d(engine_) < p;
+}
+
+std::vector<bool> Rng::subset_mask(std::size_t k) {
+  std::vector<bool> mask(k);
+  for (std::size_t i = 0; i < k; ++i) mask[i] = chance(0.5);
+  return mask;
+}
+
+Rng Rng::fork() { return Rng(engine_()); }
+
+}  // namespace dowork

@@ -1,0 +1,40 @@
+// Deterministic pseudo-random source.  Every stochastic element of a run
+// (random crash schedules, broadcast-subset adversaries, workload shuffles)
+// draws from a single seeded generator so that any run is reproducible from
+// its (protocol, n, t, schedule, seed) tuple.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace dowork {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  // Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi);
+  // Bernoulli trial with probability p (clamped to [0,1]).
+  bool chance(double p);
+  // Uniformly chosen subset of {0,...,k-1} as a boolean mask.
+  std::vector<bool> subset_mask(std::size_t k);
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    if (v.size() < 2) return;
+    for (std::size_t i = v.size() - 1; i > 0; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform(0, i));
+      std::swap(v[i], v[j]);
+    }
+  }
+  // Fork a child generator; child streams are independent of later draws
+  // from the parent.
+  Rng fork();
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace dowork

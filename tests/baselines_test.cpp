@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "core/runner.h"
+#include "protocols/baseline_checkpoint.h"
+
+namespace dowork {
+namespace {
+
+TEST(BaselineAll, FailureFreeDoesTnWorkAndNoMessages) {
+  DoAllConfig cfg{32, 5};
+  RunResult r = run_do_all("baseline_all", cfg, std::make_unique<NoFaults>());
+  ASSERT_TRUE(r.ok()) << r.violation;
+  EXPECT_EQ(r.metrics.work_total, 32u * 5u);
+  EXPECT_EQ(r.metrics.messages_total, 0u);
+  // n rounds of work; all retire in round n-1 (0-based).
+  EXPECT_EQ(r.metrics.last_retire_round, Round{31});
+}
+
+TEST(BaselineAll, SurvivesAnyCrashPattern) {
+  DoAllConfig cfg{20, 6};
+  RunResult r = run_do_all("baseline_all", cfg, std::make_unique<RandomFaults>(0.2, 5, 1));
+  ASSERT_TRUE(r.ok()) << r.violation;
+  EXPECT_LE(r.metrics.work_total, 20u * 6u);
+}
+
+TEST(BaselineCheckpoint, FailureFreeIsWorkOptimalButMessageHeavy) {
+  DoAllConfig cfg{30, 5};
+  RunResult r = run_do_all("baseline_checkpoint", cfg, std::make_unique<NoFaults>());
+  ASSERT_TRUE(r.ok()) << r.violation;
+  EXPECT_EQ(r.metrics.work_total, 30u);  // only process 0 works
+  // k=1: a checkpoint to t-1 processes after every unit => ~n(t-1) messages.
+  EXPECT_EQ(r.metrics.messages_total, 30u * 4u);
+  EXPECT_EQ(r.metrics.max_concurrent_workers, 1u);
+}
+
+TEST(BaselineCheckpoint, CascadeCrashesStayWorkOptimal) {
+  DoAllConfig cfg{40, 8};
+  // Kill each active worker after 3 units; k=1 means at most 1 unit of work
+  // is lost per crash (the unit whose checkpoint did not go out).
+  RunResult r = run_do_all("baseline_checkpoint", cfg,
+                           std::make_unique<WorkCascadeFaults>(3, 7, /*deliver_prefix=*/0));
+  ASSERT_TRUE(r.ok()) << r.violation;
+  EXPECT_LE(r.metrics.work_total, 40u + 7u + 7u);  // n + one redone unit + one in-flight per crash
+  EXPECT_EQ(r.metrics.crashes, 7u);
+}
+
+TEST(BaselineCheckpoint, LargerKTradesMessagesForRedoneWork) {
+  DoAllConfig cfg{120, 6};
+  auto run_k = [&](std::int64_t k) {
+    std::vector<std::unique_ptr<IProcess>> procs;
+    for (int i = 0; i < cfg.t; ++i)
+      procs.push_back(std::make_unique<BaselineCheckpointProcess>(cfg, i, k));
+    Simulator::Options opts;
+    opts.n_units = cfg.n;
+    opts.strict_one_op = true;
+    return run_simulation(std::move(procs),
+                          std::make_unique<WorkCascadeFaults>(10, cfg.t - 1, 0), opts);
+  };
+  RunMetrics fine = run_k(1);
+  RunMetrics coarse = run_k(30);
+  // Coarse checkpointing sends far fewer messages but redoes more work.
+  EXPECT_LT(coarse.messages_total, fine.messages_total / 4);
+  EXPECT_GT(coarse.work_total, fine.work_total);
+  EXPECT_TRUE(fine.all_units_done());
+  EXPECT_TRUE(coarse.all_units_done());
+}
+
+TEST(BaselineCheckpoint, SingleProcessDegenerate) {
+  DoAllConfig cfg{10, 1};
+  RunResult r = run_do_all("baseline_checkpoint", cfg, std::make_unique<NoFaults>());
+  ASSERT_TRUE(r.ok()) << r.violation;
+  EXPECT_EQ(r.metrics.work_total, 10u);
+  EXPECT_EQ(r.metrics.messages_total, 0u);
+}
+
+TEST(BaselineCheckpoint, AllButOneCrashImmediately) {
+  DoAllConfig cfg{25, 5};
+  // Crash processes 0..3 on their first action.
+  std::vector<ScheduledFaults::Entry> entries;
+  for (int p = 0; p < 4; ++p) entries.push_back({p, 1, CrashPlan{false, 0}});
+  RunResult r = run_do_all("baseline_checkpoint", cfg,
+                           std::make_unique<ScheduledFaults>(std::move(entries)));
+  ASSERT_TRUE(r.ok()) << r.violation;
+  // The survivor (process 4) did all the work itself.
+  EXPECT_EQ(r.metrics.work_by_proc[4], 25u);
+}
+
+}  // namespace
+}  // namespace dowork

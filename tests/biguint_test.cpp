@@ -1,0 +1,117 @@
+#include "util/biguint.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dowork {
+namespace {
+
+TEST(BigUint, DefaultIsZero) {
+  BigUint z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.to_string(), "0");
+  EXPECT_EQ(z.to_u64_saturating(), 0u);
+  EXPECT_EQ(z.log2_floor(), -1);
+}
+
+TEST(BigUint, U64RoundTrip) {
+  BigUint v{123456789ull};
+  EXPECT_TRUE(v.fits_u64());
+  EXPECT_EQ(v.to_u64_saturating(), 123456789ull);
+  EXPECT_EQ(v.to_string(), "123456789");
+}
+
+TEST(BigUint, AdditionCarriesAcrossLimbs) {
+  BigUint a{UINT64_MAX};
+  BigUint b = a + BigUint{1};
+  EXPECT_FALSE(b.fits_u64());
+  EXPECT_EQ(b, BigUint::pow2(64));
+  EXPECT_EQ(b.to_string(), "18446744073709551616");
+}
+
+TEST(BigUint, SubtractionBorrows) {
+  BigUint a = BigUint::pow2(128);
+  BigUint b = a - BigUint{1};
+  EXPECT_EQ(b + BigUint{1}, a);
+  EXPECT_LT(b, a);
+}
+
+TEST(BigUint, SubtractionUnderflowThrows) {
+  BigUint a{5};
+  EXPECT_THROW(a - BigUint{6}, std::underflow_error);
+}
+
+TEST(BigUint, MultiplicationByU64) {
+  BigUint a{1000000007ull};
+  BigUint b = a * 1000000009ull;
+  EXPECT_EQ(b.to_string(), "1000000016000000063");
+  // (2^64-1) * (2^64-1) spans two limbs.
+  BigUint c = BigUint{UINT64_MAX} * UINT64_MAX;
+  EXPECT_EQ(c + BigUint{UINT64_MAX} + BigUint{UINT64_MAX}, BigUint::pow2(128) - BigUint{1});
+}
+
+TEST(BigUint, ShiftLeft) {
+  EXPECT_EQ(BigUint{1} << 100, BigUint::pow2(100));
+  EXPECT_EQ(BigUint{3} << 64, BigUint::pow2(64) * 3ull);
+  EXPECT_EQ(BigUint{7} << 0, BigUint{7});
+}
+
+TEST(BigUint, ShiftOverflowThrows) {
+  EXPECT_THROW(BigUint{1} << 512, std::overflow_error);
+  EXPECT_THROW(BigUint::pow2(511) << 1, std::overflow_error);
+}
+
+TEST(BigUint, Pow2Bounds) {
+  EXPECT_EQ(BigUint::pow2(0), BigUint{1});
+  EXPECT_EQ(BigUint::pow2(511).log2_floor(), 511);
+  EXPECT_THROW(BigUint::pow2(512), std::overflow_error);
+}
+
+TEST(BigUint, AdditionOverflowThrows) {
+  BigUint max = BigUint::pow2(511);
+  EXPECT_THROW(max + max, std::overflow_error);
+}
+
+TEST(BigUint, OrderingIsLexicographicOnLimbs) {
+  EXPECT_LT(BigUint{5}, BigUint{6});
+  EXPECT_LT(BigUint{UINT64_MAX}, BigUint::pow2(64));
+  EXPECT_GT(BigUint::pow2(300), BigUint::pow2(299) + BigUint::pow2(298));
+  EXPECT_EQ(BigUint{42}, BigUint{42});
+}
+
+TEST(BigUint, Log2Floor) {
+  EXPECT_EQ(BigUint{1}.log2_floor(), 0);
+  EXPECT_EQ(BigUint{2}.log2_floor(), 1);
+  EXPECT_EQ(BigUint{3}.log2_floor(), 1);
+  EXPECT_EQ(BigUint::pow2(200).log2_floor(), 200);
+  EXPECT_EQ((BigUint::pow2(200) - BigUint{1}).log2_floor(), 199);
+}
+
+TEST(BigUint, ToStringLargeValue) {
+  // 2^128 = 340282366920938463463374607431768211456
+  EXPECT_EQ(BigUint::pow2(128).to_string(), "340282366920938463463374607431768211456");
+}
+
+TEST(BigUint, SaturatingU64) {
+  EXPECT_EQ(BigUint::pow2(70).to_u64_saturating(), UINT64_MAX);
+}
+
+// The exact shape Protocol C uses: D(i,m) = K(NT-m) * 2^(NT-1-m).
+TEST(BigUint, ProtocolCDeadlineShape) {
+  const std::uint64_t K = 5 * 64 + 2 * 6;
+  const unsigned NT = 128 + 64;
+  BigUint d1 = BigUint{K} * (NT - 1) << (NT - 1 - 1);
+  BigUint d2 = BigUint{K} * (NT - 2) << (NT - 1 - 2);
+  EXPECT_GT(d1, d2);
+  // The deadline recurrence the proof needs: D(m) > (NT-m)K + sum_{m'>m} D(m').
+  BigUint sum{0};
+  for (unsigned m = NT - 1; m >= NT - 20; --m) {
+    BigUint d = BigUint{K} * (NT - m) << (NT - 1 - m);
+    EXPECT_GE(d, sum + BigUint{K} * (NT - m)) << "m=" << m;
+    sum += d;
+  }
+}
+
+}  // namespace
+}  // namespace dowork

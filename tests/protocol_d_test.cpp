@@ -1,0 +1,179 @@
+#include "protocols/protocol_d.h"
+
+#include <gtest/gtest.h>
+
+#include "core/runner.h"
+
+namespace dowork {
+namespace {
+
+std::uint64_t u(std::int64_t v) { return static_cast<std::uint64_t>(v); }
+
+TEST(ProtocolD, FailureFreeIsTimeOptimal) {
+  DoAllConfig cfg{64, 8};  // n/t = 8
+  RunResult r = run_do_all("D", cfg, std::make_unique<NoFaults>());
+  ASSERT_TRUE(r.ok()) << r.violation;
+  EXPECT_EQ(r.metrics.work_total, 64u);  // perfect load balance, no redo
+  EXPECT_EQ(r.metrics.max_concurrent_workers, 8u);
+  // n/t + 2 rounds (Theorem 4.1 discussion): rounds 0..n/t+1.
+  EXPECT_EQ(r.metrics.last_retire_round, Round{64u / 8u + 1u});
+  // 2 agreement broadcasts to t-1 peers each: 2t(t-1) <= 2t^2 messages.
+  EXPECT_EQ(r.metrics.messages_total, 2u * 8u * 7u);
+  EXPECT_EQ(r.metrics.messages_of(MsgKind::kAgreement), r.metrics.messages_total);
+}
+
+TEST(ProtocolD, FailureFreeUnevenDivision) {
+  DoAllConfig cfg{65, 8};  // ceil(65/8) = 9
+  RunResult r = run_do_all("D", cfg, std::make_unique<NoFaults>());
+  ASSERT_TRUE(r.ok()) << r.violation;
+  EXPECT_EQ(r.metrics.work_total, 65u);
+  EXPECT_EQ(r.metrics.last_retire_round, Round{9u + 1u});
+}
+
+TEST(ProtocolD, SingleProcess) {
+  DoAllConfig cfg{10, 1};
+  RunResult r = run_do_all("D", cfg, std::make_unique<NoFaults>());
+  ASSERT_TRUE(r.ok()) << r.violation;
+  EXPECT_EQ(r.metrics.work_total, 10u);
+  EXPECT_EQ(r.metrics.messages_total, 0u);
+}
+
+TEST(ProtocolD, OneCrashCostsOneExtraPhase) {
+  DoAllConfig cfg{64, 8};
+  // Process 3 dies on its first work unit without completing it.
+  std::vector<ScheduledFaults::Entry> entries{{3, 1, CrashPlan{false, 0}}};
+  RunResult r = run_do_all("D", cfg, std::make_unique<ScheduledFaults>(std::move(entries)));
+  ASSERT_TRUE(r.ok()) << r.violation;
+  // Its 8-unit slice is redone by the 7 survivors in phase 2.
+  EXPECT_LE(r.metrics.work_total, 64u + 8u);
+  // Paper: with one failure, <= n/t + ceil(n/t(t-1)) + 6 rounds and <= 5t^2
+  // messages (plus small pipeline slack).
+  EXPECT_LE(r.metrics.last_retire_round, Round{8u + 2u + 8u});
+  EXPECT_LE(r.metrics.messages_total, 5u * 64u + 64u);
+}
+
+TEST(ProtocolD, CrashDuringAgreementBroadcastStillAgrees) {
+  DoAllConfig cfg{32, 4};
+  // Process 1: 8 work actions, then dies during its first agreement
+  // broadcast, reaching only the first recipient.
+  std::vector<ScheduledFaults::Entry> entries{{1, 9, CrashPlan{false, 1}}};
+  RunResult r = run_do_all("D", cfg, std::make_unique<ScheduledFaults>(std::move(entries)));
+  ASSERT_TRUE(r.ok()) << r.violation;
+  EXPECT_EQ(r.metrics.crashes, 1u);
+  // Its slice was already done; survivors may or may not have learned it.
+  EXPECT_LE(r.metrics.work_total, 32u + 8u);
+}
+
+TEST(ProtocolD, TheoremFourOneCaseOneBounds) {
+  // One crash per phase, f = 4 crashes on t = 16: never more than half.
+  DoAllConfig cfg{128, 16};
+  const int f = 4;
+  // Crash process p on its (p+1)*2-th work unit so deaths spread over time.
+  std::vector<ScheduledFaults::Entry> entries;
+  for (int p = 0; p < f; ++p)
+    entries.push_back({p, u(2 * (p + 1)), CrashPlan{true, 0}});
+  RunResult r = run_do_all("D", cfg, std::make_unique<ScheduledFaults>(std::move(entries)));
+  ASSERT_TRUE(r.ok()) << r.violation;
+  EXPECT_LE(r.metrics.work_total, 2u * 128u) << "work <= 2n (Thm 4.1 1a)";
+  EXPECT_LE(r.metrics.messages_total, (4u * f + 2u) * 16u * 16u) << "msgs <= (4f+2)t^2";
+  // rounds <= (f+1) n/t + 4f + 2, plus pipeline grace slack (<= 2 per phase).
+  EXPECT_LE(r.metrics.last_retire_round, Round{(f + 1) * 8u + 4u * f + 2u + 2u * (f + 1)});
+}
+
+TEST(ProtocolD, RevertsToProtocolAWhenMajorityDies) {
+  DoAllConfig cfg{64, 8};
+  // Kill 5 of 8 (more than half of those thought correct) in phase 1.
+  std::vector<ScheduledFaults::Entry> entries;
+  for (int p = 0; p < 5; ++p) entries.push_back({p, 2, CrashPlan{true, 0}});
+  std::vector<std::unique_ptr<IProcess>> procs;
+  std::vector<ProtocolDProcess*> raw;
+  for (int i = 0; i < cfg.t; ++i) {
+    auto d = std::make_unique<ProtocolDProcess>(cfg, i);
+    raw.push_back(d.get());
+    procs.push_back(std::move(d));
+  }
+  Simulator::Options opts;
+  opts.n_units = cfg.n;
+  opts.strict_one_op = true;
+  Simulator sim(std::move(procs), std::make_unique<ScheduledFaults>(std::move(entries)), opts);
+  RunMetrics m = sim.run();
+  EXPECT_TRUE(m.all_retired);
+  EXPECT_TRUE(m.all_units_done());
+  // The survivors switched to the Protocol A escape hatch.
+  bool any_reverted = false;
+  for (auto* d : raw) any_reverted |= d->reverted_to_a();
+  EXPECT_TRUE(any_reverted);
+  // Theorem 4.1 case 2: work <= 4n, checkpoint traffic present.
+  EXPECT_LE(m.work_total, 4u * 64u);
+  EXPECT_GT(m.messages_of(MsgKind::kCheckpoint), 0u);
+}
+
+TEST(ProtocolD, GracefulDegradationRoundsGrowLinearlyInF) {
+  DoAllConfig cfg{240, 8};
+  std::uint64_t prev_rounds = 0;
+  for (int f : {0, 2, 4}) {
+    std::vector<ScheduledFaults::Entry> entries;
+    for (int p = 0; p < f; ++p) entries.push_back({p, u(10 * (p + 1)), CrashPlan{true, 0}});
+    RunResult r = run_do_all("D", cfg, std::make_unique<ScheduledFaults>(std::move(entries)));
+    ASSERT_TRUE(r.ok()) << r.violation << " f=" << f;
+    std::uint64_t rounds = r.metrics.last_retire_round.to_u64_saturating();
+    EXPECT_GE(rounds, prev_rounds);
+    // Never worse than (f+1)n/t + O(f).
+    EXPECT_LE(rounds, u((f + 1) * 30 + 6 * f + 6));
+    prev_rounds = rounds;
+  }
+}
+
+struct SweepCase {
+  std::int64_t n;
+  int t;
+  int fault_mode;
+  unsigned seed;
+};
+
+class ProtocolDSweep : public ::testing::TestWithParam<SweepCase> {};
+
+std::unique_ptr<FaultInjector> make_faults(const SweepCase& c) {
+  switch (c.fault_mode) {
+    case 1:
+      return std::make_unique<WorkCascadeFaults>(1, c.t - 1, 0);
+    case 2:
+      return std::make_unique<WorkCascadeFaults>(u(ceil_div(c.n, c.t)), c.t - 1, 2);
+    case 3:
+      return std::make_unique<RandomFaults>(0.05, c.t - 1, c.seed);
+    default:
+      return std::make_unique<NoFaults>();
+  }
+}
+
+TEST_P(ProtocolDSweep, AlwaysCompletesAllWork) {
+  const SweepCase& c = GetParam();
+  DoAllConfig cfg{c.n, c.t};
+  RunResult r = run_do_all("D", cfg, make_faults(c));
+  ASSERT_TRUE(r.ok()) << r.violation << " (" << cfg.to_string() << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ProtocolDSweep,
+    ::testing::Values(
+        SweepCase{16, 4, 0, 0}, SweepCase{16, 4, 1, 0}, SweepCase{16, 4, 2, 0},
+        SweepCase{16, 4, 3, 1}, SweepCase{100, 10, 1, 0}, SweepCase{100, 10, 2, 0},
+        SweepCase{100, 10, 3, 2}, SweepCase{64, 16, 1, 0}, SweepCase{64, 16, 3, 3},
+        SweepCase{50, 7, 1, 0}, SweepCase{50, 7, 3, 4}, SweepCase{8, 16, 1, 0},
+        SweepCase{8, 16, 3, 5}, SweepCase{1, 4, 1, 0}, SweepCase{33, 11, 2, 0},
+        SweepCase{33, 11, 3, 6}, SweepCase{256, 25, 1, 0}, SweepCase{256, 25, 3, 7},
+        SweepCase{128, 2, 1, 0}, SweepCase{40, 3, 3, 8}, SweepCase{512, 32, 3, 9},
+        SweepCase{81, 81, 1, 0}, SweepCase{81, 81, 3, 10}));
+
+class ProtocolDRandom : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ProtocolDRandom, RandomSchedulesAlwaysComplete) {
+  DoAllConfig cfg{120, 12};
+  RunResult r = run_do_all("D", cfg, std::make_unique<RandomFaults>(0.05, 11, GetParam()));
+  ASSERT_TRUE(r.ok()) << r.violation;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolDRandom, ::testing::Range(0u, 25u));
+
+}  // namespace
+}  // namespace dowork
