@@ -1,39 +1,8 @@
-// Experiment F3 (Section 3 introduction): without fault detection, the
-// "most-knowledgeable takes over" idea costs Theta(n + t^2) work and
-// messages under the adversary that kills every active process as it
-// performs the final unit (its report dies with it, so each takeover redoes
-// the tail and re-informs dead processes).  Protocol C's pointer-guided
-// polling discovers the dead and stays at n + 2t work.
-#include "bench_util.h"
+// Experiment F3 (Section 3 introduction): naive most-knowledgeable takeover
+// vs Protocol C's fault detection.  Thin wrapper over the harness experiment
+// registry.
+#include "harness/bench_main.h"
 
-using namespace dowork;
-using namespace dowork::bench;
-
-int main() {
-  header("F3: naive most-knowledgeable takeover vs Protocol C",
-         "Paper claim (Sec. 3 intro): the naive scheme does O(n + t^2) work/messages; fault "
-         "detection (treated as recursive work) removes the cascade.  Adversary: crash each "
-         "active process on the last unit; n = t - 1 (the paper's scenario shape).");
-
-  TablePrinter table({"t", "n", "naive work", "naive msgs", "C work", "C msgs", "C polls",
-                      "n+2t (Thm 3.8a)", "work ratio"});
-  for (int t : {8, 16, 32, 64}) {
-    const std::int64_t n = t - 1;
-    DoAllConfig cfg{n, t};
-    auto adversary = [&] { return std::make_unique<CrashOnUnitFaults>(n, t - 1); };
-    RunResult naive = checked_run("naive_C", cfg, adversary());
-    RunResult smart = checked_run("C", cfg, adversary());
-    table.add_row(
-        {std::to_string(t), std::to_string(n), with_commas(naive.metrics.work_total),
-         with_commas(naive.metrics.messages_total), with_commas(smart.metrics.work_total),
-         with_commas(smart.metrics.messages_total),
-         with_commas(smart.metrics.messages_of(MsgKind::kPoll)),
-         with_commas(static_cast<std::uint64_t>(n) + 2 * t),
-         ratio(static_cast<double>(naive.metrics.work_total) /
-               static_cast<double>(smart.metrics.work_total))});
-  }
-  table.print();
-  std::printf("\nShape check: naive work grows ~ t^2/2 (the ratio column widens with t) while "
-              "Protocol C stays under its n + 2t bound.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return dowork::harness::bench_main(argc, argv, "ablation_naive_c");
 }

@@ -1,53 +1,7 @@
-// Experiment T7 (Section 2.1 remark): Protocol A runs unchanged in a fully
-// asynchronous system with a failure detector -- activation waits for
-// detector notices instead of round deadlines.  Work and message complexity
-// are delay-invariant; completion time scales with actual delays and
-// detector latency rather than worst-case deadlines.
-#include "async/protocol_a_async.h"
-#include "bench_util.h"
+// Experiment T7 (Section 2.1 remark): asynchronous Protocol A with failure
+// detection.  Thin wrapper over the harness experiment registry.
+#include "harness/bench_main.h"
 
-using namespace dowork;
-using namespace dowork::bench;
-
-int main() {
-  header("T7: asynchronous Protocol A with failure detection",
-         "Paper claim: the synchronous deadlines exist only to detect failures; with a sound "
-         "+ complete detector the same protocol (same work/message bounds) runs fully "
-         "asynchronously.  Sweep: message delay and detector latency ranges.");
-
-  const DoAllConfig cfg{256, 16};
-  const std::uint64_t s = static_cast<std::uint64_t>(int_sqrt_ceil(cfg.t));
-  TablePrinter table({"max msg delay", "max FD delay", "crashes", "work", "3n", "messages",
-                      "9t*sqrt(t)", "end time"});
-  for (ATime delay : {ATime{2}, ATime{10}, ATime{50}}) {
-    for (ATime fd : {ATime{5}, ATime{25}, ATime{100}}) {
-      AsyncSim::Options opts;
-      opts.min_delay = 1;
-      opts.max_delay = delay;
-      opts.fd_max_delay = fd;
-      opts.seed = delay * 1000 + fd;
-      std::vector<std::optional<AsyncSim::CrashSpec>> crashes(
-          static_cast<std::size_t>(cfg.t));
-      // Each active process survives one subchunk + checkpoint (so the
-      // checkpoint traffic flows), then dies mid-broadcast on a later one.
-      for (int p = 0; p < cfg.t - 1; ++p)
-        crashes[static_cast<std::size_t>(p)] =
-            AsyncSim::CrashSpec{static_cast<std::uint64_t>(ceil_div(cfg.n, cfg.t)) + 3, 2, true};
-      AsyncMetrics m = run_async_protocol_a(cfg, opts, std::move(crashes));
-      if (!m.all_retired || !m.all_units_done()) {
-        std::fprintf(stderr, "FATAL: async run incomplete\n");
-        return 1;
-      }
-      table.add_row({std::to_string(delay), std::to_string(fd), std::to_string(m.crashes),
-                     with_commas(m.work_total),
-                     with_commas(3 * static_cast<std::uint64_t>(cfg.n)),
-                     with_commas(m.messages_total),
-                     with_commas(9 * static_cast<std::uint64_t>(cfg.t) * s),
-                     with_commas(m.end_time)});
-    }
-  }
-  table.print();
-  std::printf("\nShape check: work and messages stay within the synchronous Theorem 2.3 "
-              "bounds in every row; only the end-time column moves with the delays.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return dowork::harness::bench_main(argc, argv, "async");
 }

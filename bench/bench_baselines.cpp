@@ -1,44 +1,9 @@
-// Experiment T1 (paper Section 1): the two trivial solutions cost O(tn)
-// effort -- "everyone does everything" in work, "checkpoint every unit to
-// everyone" in messages -- motivating work-optimal protocols with O(n + t)
-// work and sub-(tn) messages.
-#include "bench_util.h"
+// Experiment T1 (Section 1): the two trivial solutions cost O(tn) effort.
+// Thin wrapper over the harness experiment registry; see
+// src/harness/experiments.cpp for the scenario family and DESIGN.md for the
+// experiment -> paper map.
+#include "harness/bench_main.h"
 
-using namespace dowork;
-using namespace dowork::bench;
-
-int main() {
-  header("T1: trivial baselines vs Protocol A (worst-case crash cascade)",
-         "Paper claim: both baselines have effort O(tn); Protocol A achieves "
-         "3n work + 9t*sqrt(t) messages.");
-
-  TablePrinter table({"t", "n", "protocol", "faults", "work", "messages", "effort", "rounds"});
-  for (int t : {4, 8, 16, 32, 64}) {
-    const std::int64_t n = 1024;
-    DoAllConfig cfg{n, t};
-    for (const char* proto : {"baseline_all", "baseline_checkpoint", "A"}) {
-      // Each protocol under its own worst case: for baseline_all that is the
-      // failure-free run (everyone does everything, t*n work); for the
-      // single-worker protocols a full takeover cascade, crashing each
-      // worker one chunk in with its broadcast truncated to one recipient.
-      const bool all = std::string(proto) == "baseline_all";
-      std::unique_ptr<FaultInjector> faults;
-      if (all)
-        faults = std::make_unique<NoFaults>();
-      else
-        faults = std::make_unique<WorkCascadeFaults>(
-            static_cast<std::uint64_t>(ceil_div(n, int_sqrt_ceil(t)) + 1), t - 1,
-            /*deliver_prefix=*/1);
-      RunResult r = checked_run(proto, cfg, std::move(faults));
-      table.add_row({std::to_string(t), std::to_string(n), proto,
-                     all ? "none (worst case)" : "t-1 cascade",
-                     with_commas(r.metrics.work_total), with_commas(r.metrics.messages_total),
-                     with_commas(r.metrics.effort()), fmt_round(r.metrics.last_retire_round)});
-    }
-  }
-  table.print();
-
-  std::printf("\nShape check: baseline_all work ~ t*n; baseline_checkpoint messages ~ t*n;\n"
-              "Protocol A keeps effort near n + t^1.5 (who-wins ordering as in the paper).\n");
-  return 0;
+int main(int argc, char** argv) {
+  return dowork::harness::bench_main(argc, argv, "baselines");
 }

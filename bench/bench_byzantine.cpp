@@ -1,73 +1,7 @@
 // Experiment T6 (Section 5): Byzantine agreement for crash faults via the
-// work protocols.  Via A/B: O(n + t sqrt t) messages and O(n) time
-// (matching Bracha's nonconstructive bound, constructively); via C:
-// O(n + t log t) messages at exponential time.  Agreement and validity hold
-// under every crash schedule, including the general dying mid-broadcast.
-#include "agreement/byzantine.h"
-#include "bench_util.h"
+// work protocols.  Thin wrapper over the harness experiment registry.
+#include "harness/bench_main.h"
 
-using namespace dowork;
-using namespace dowork::bench;
-
-namespace {
-
-ByzantineResult checked_ba(const ByzantineConfig& cfg, std::unique_ptr<FaultInjector> faults) {
-  ByzantineResult r = run_byzantine(cfg, std::move(faults));
-  if (!r.agreement || !r.validity) {
-    std::fprintf(stderr, "FATAL: BA violated agreement/validity (proto %s)\n",
-                 cfg.protocol.c_str());
-    std::abort();
-  }
-  return r;
-}
-
-}  // namespace
-
-int main() {
-  header("T6: Byzantine agreement (crash faults) built on the work protocols",
-         "Paper claim: via A/B O(n + t*sqrt(t)) msgs, O(n) rounds; via C O(n + t log t) msgs, "
-         "exponential rounds.  Worst over: failure-free, general crash mid-broadcast, sender "
-         "cascade, 4 random schedules.");
-
-  TablePrinter table({"n", "t", "proto", "max msgs", "n+10t*sqrt(t)", "n+8TlogT",
-                      "max rounds", "agreement", "validity"});
-  struct Shape {
-    int n, t;
-  };
-  for (Shape sh : {Shape{64, 8}, Shape{144, 12}, Shape{256, 16}, Shape{128, 32}}) {
-    for (const char* proto : {"A", "B", "C"}) {
-      ByzantineConfig cfg;
-      cfg.n_procs = sh.n;
-      cfg.t_faults = sh.t;
-      cfg.value = 5;
-      cfg.protocol = proto;
-      std::uint64_t max_msgs = 0;
-      Round max_rounds{0};
-      auto absorb = [&](const ByzantineResult& r) {
-        max_msgs = std::max(max_msgs, r.metrics.messages_total);
-        if (r.metrics.last_retire_round > max_rounds) max_rounds = r.metrics.last_retire_round;
-      };
-      absorb(checked_ba(cfg, std::make_unique<NoFaults>()));
-      absorb(checked_ba(cfg, std::make_unique<ScheduledFaults>(std::vector<ScheduledFaults::Entry>{
-                                 {0, 1, CrashPlan{false, static_cast<std::size_t>(sh.t / 2)}}})));
-      absorb(checked_ba(cfg, std::make_unique<WorkCascadeFaults>(2, sh.t, 1)));
-      for (unsigned seed = 0; seed < 4; ++seed)
-        absorb(checked_ba(cfg, std::make_unique<RandomFaults>(0.03, sh.t, seed)));
-
-      const std::uint64_t senders = static_cast<std::uint64_t>(sh.t + 1);
-      const std::uint64_t s = static_cast<std::uint64_t>(int_sqrt_ceil(sh.t + 1));
-      const std::uint64_t T = static_cast<std::uint64_t>(pow2_ceil(sh.t + 1));
-      const std::uint64_t L = static_cast<std::uint64_t>(log2_of_pow2(pow2_ceil(sh.t + 1)));
-      table.add_row({std::to_string(sh.n), std::to_string(sh.t), proto, with_commas(max_msgs),
-                     with_commas(static_cast<std::uint64_t>(sh.n) + 10 * senders * s +
-                                 10 * s * s + senders),
-                     with_commas(static_cast<std::uint64_t>(sh.n) + 8 * T * L + 4 * T + senders),
-                     fmt_round(max_rounds), "yes", "yes"});
-    }
-  }
-  table.print();
-  std::printf("\nShape check: A/B rows respect the n + O(t^1.5) message column with small "
-              "round counts; C rows respect the n + O(t log t) column with astronomically "
-              "large (exponential) round counts.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return dowork::harness::bench_main(argc, argv, "byzantine");
 }

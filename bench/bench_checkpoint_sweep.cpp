@@ -1,74 +1,9 @@
 // Experiment F1 (Section 2 introduction): the checkpoint-frequency
-// trade-off.  A single worker checkpointing every n/k units to all t
-// processes loses up to n/k units per crash (suggesting k >= t) but pays t
-// messages per checkpoint (suggesting k <= sqrt(t)); the effort curve over k
-// has an interior minimum, motivating Protocol A's two-level scheme
-// (partial checkpoints every n/t units to sqrt(t) processes, full
-// checkpoints every n/sqrt(t) units to everyone).
-#include "bench_util.h"
+// trade-off.  Thin wrapper over the harness experiment registry; see
+// src/harness/experiments.cpp for the scenario family and DESIGN.md for the
+// experiment -> paper map.
+#include "harness/bench_main.h"
 
-#include "protocols/baseline_checkpoint.h"
-#include "sim/simulator.h"
-
-using namespace dowork;
-using namespace dowork::bench;
-
-namespace {
-
-RunMetrics run_with_k(const DoAllConfig& cfg, std::int64_t units_per_ckpt) {
-  std::vector<std::unique_ptr<IProcess>> procs;
-  for (int i = 0; i < cfg.t; ++i)
-    procs.push_back(std::make_unique<BaselineCheckpointProcess>(cfg, i, units_per_ckpt));
-  Simulator::Options opts;
-  opts.n_units = cfg.n;
-  opts.strict_one_op = true;
-  // Adversary: kill each active worker just after a checkpoint interval so a
-  // full interval of work is in flight (maximum loss), all t-1 crashes.
-  Simulator sim(std::move(procs),
-                std::make_unique<WorkCascadeFaults>(
-                    static_cast<std::uint64_t>(units_per_ckpt), cfg.t - 1, 0),
-                opts);
-  RunMetrics m = sim.run();
-  if (!m.all_units_done() || !m.all_retired) {
-    std::fprintf(stderr, "FATAL: checkpoint sweep run broken\n");
-    std::abort();
-  }
-  return m;
-}
-
-}  // namespace
-
-int main() {
-  header("F1: checkpoint-frequency sweep (single worker, checkpoint to all)",
-         "Paper claim (Sec. 2 intro): checkpoint every n/k units => ~n*t/k redone work and "
-         "~t*k messages; too-small and too-large k both lose, best k between sqrt(t) and t.");
-
-  const int t = 32;
-  const std::int64_t n = 1024;
-  DoAllConfig cfg{n, t};
-  TablePrinter table({"k (ckpts)", "units/ckpt", "work", "redone", "messages", "effort"});
-  std::uint64_t best_effort = UINT64_MAX;
-  std::int64_t best_k = 0;
-  for (std::int64_t k : {1, 2, 4, 6, 8, 12, 16, 24, 32, 64, 128, 256, 1024}) {
-    std::int64_t per = std::max<std::int64_t>(1, n / k);
-    RunMetrics m = run_with_k(cfg, per);
-    table.add_row({std::to_string(k), std::to_string(per), with_commas(m.work_total),
-                   with_commas(m.work_total - static_cast<std::uint64_t>(n)),
-                   with_commas(m.messages_total), with_commas(m.effort())});
-    if (m.effort() < best_effort) {
-      best_effort = m.effort();
-      best_k = k;
-    }
-  }
-  table.print();
-  std::printf("\nBest k = %lld (effort %s): interior minimum between k=1 (message-bound) and "
-              "k=n (work-redo-bound), as the Section 2 argument predicts.  Protocol A's "
-              "two-level checkpointing beats every single-level k:\n",
-              static_cast<long long>(best_k), with_commas(best_effort).c_str());
-  RunResult a = checked_run("A", cfg,
-                            std::make_unique<WorkCascadeFaults>(
-                                static_cast<std::uint64_t>(ceil_div(n, t)), t - 1, 0));
-  std::printf("Protocol A effort on the same adversary: %s\n",
-              with_commas(a.metrics.effort()).c_str());
-  return 0;
+int main(int argc, char** argv) {
+  return dowork::harness::bench_main(argc, argv, "checkpoint_sweep");
 }

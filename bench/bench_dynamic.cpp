@@ -1,66 +1,7 @@
-// Experiment T9 (Sections 1 and 4, the patented extension): work arriving
-// continually at individual sites, not initially common knowledge.  The
-// dynamic Protocol D keeps alternating work and agreement phases; arriving
-// units become common knowledge one agreement later and are load-balanced
-// like the static workload.  Announced work is never lost; work that dies
-// with its arrival site before being gossiped is reported as lost (clients
-// must resubmit), exactly the semantics of a reclaimed workstation's queue.
-#include "bench_util.h"
-#include "dynamic/dynamic_d.h"
+// Experiment T9 (Sections 1 and 4): the dynamic-workload extension of
+// Protocol D.  Thin wrapper over the harness experiment registry.
+#include "harness/bench_main.h"
 
-using namespace dowork;
-using namespace dowork::bench;
-
-namespace {
-
-DynamicConfig make_workload(int t, int batches, std::int64_t per_batch, std::uint64_t gap) {
-  DynamicConfig cfg;
-  cfg.t = t;
-  cfg.max_units = batches * per_batch;
-  cfg.horizon = gap * static_cast<std::uint64_t>(batches) + 8;
-  std::int64_t next = 1;
-  for (int b = 0; b < batches; ++b) {
-    Arrival a;
-    a.round = gap * static_cast<std::uint64_t>(b);
-    a.proc = b % t;
-    for (std::int64_t k = 0; k < per_batch; ++k) a.units.push_back(next++);
-    cfg.arrivals.push_back(a);
-  }
-  return cfg;
-}
-
-}  // namespace
-
-int main() {
-  header("T9: dynamic workload extension of Protocol D",
-         "Paper claim (Secs. 1, 4): Protocol D extends to work arriving over time at "
-         "different sites via periodic agreement; cost stays work + O(phases * t^2) "
-         "messages.  Sweep: batch cadence and crash count.");
-
-  TablePrinter table({"t", "batches x units", "crashes", "work", "lost", "messages",
-                      "rounds", "done"});
-  for (int t : {4, 8, 16}) {
-    for (int crashes : {0, t / 4, t / 2}) {
-      DynamicConfig cfg = make_workload(t, /*batches=*/6, /*per_batch=*/4 * t, /*gap=*/25);
-      std::unique_ptr<FaultInjector> faults =
-          crashes == 0 ? std::unique_ptr<FaultInjector>(std::make_unique<NoFaults>())
-                       : std::make_unique<WorkCascadeFaults>(6, crashes, 0);
-      DynamicRunResult r = run_dynamic_do_all(cfg, std::move(faults));
-      if (!r.metrics.all_retired || !r.all_known_work_done) {
-        std::fprintf(stderr, "FATAL: dynamic run lost announced work\n");
-        return 1;
-      }
-      table.add_row({std::to_string(t), "6 x " + std::to_string(4 * t),
-                     std::to_string(r.metrics.crashes), with_commas(r.metrics.work_total),
-                     std::to_string(r.lost_units.size()),
-                     with_commas(r.metrics.messages_total),
-                     fmt_round(r.metrics.last_retire_round),
-                     r.lost_units.empty() ? "all" : "all announced"});
-    }
-  }
-  table.print();
-  std::printf("\nShape check: without failures work equals the injected total (no redo) and "
-              "every batch is absorbed one agreement after its arrival; with crashes the "
-              "survivors redo dead slices and only never-gossiped arrivals can be lost.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return dowork::harness::bench_main(argc, argv, "dynamic");
 }

@@ -1,48 +1,7 @@
-// Experiment F2 (Sections 1 and 6): the protocol landscape in one table --
-// effort (work + messages) of the baselines and all four protocols under
-// the same worst-case crash cascade, showing who wins where:
-//   baselines O(tn) effort; A/B effort 3n + O(t^1.5); C effort O(n + t log t)
-//   (message-optimal among these); D trades messages ((4f+2)t^2) for time.
-#include "bench_util.h"
+// Experiment F2 (Sections 1 and 6): the protocol landscape in one table.
+// Thin wrapper over the harness experiment registry.
+#include "harness/bench_main.h"
 
-using namespace dowork;
-using namespace dowork::bench;
-
-int main() {
-  header("F2: effort comparison across all protocols (cascade, f = t-1)",
-         "Paper claim: trivial solutions cost O(tn) effort; A/B cost 3n + O(t^1.5); C costs "
-         "O(n + t log t); D costs O(n + f t^2) but finishes fastest when failures are few.");
-
-  TablePrinter table({"t", "n", "protocol", "work", "messages", "effort", "rounds"});
-  for (int t : {8, 16, 32, 64}) {
-    const std::int64_t n = 4 * t;  // keeps n + t within Protocol C's 512-bit budget
-    DoAllConfig cfg{n, t};
-    for (const char* proto :
-         {"baseline_all", "baseline_checkpoint", "A", "B", "C", "C_batch", "D"}) {
-      // baseline_all's worst case is failure-free (tn work); the others face
-      // a takeover cascade that crashes each worker one chunk in with its
-      // broadcast truncated to a single recipient.
-      std::unique_ptr<FaultInjector> faults;
-      if (std::string(proto) == "baseline_all")
-        faults = std::make_unique<NoFaults>();
-      else if (std::string(proto) == "D")
-        // D's workers only hold n/t units each; crash t/2 - 1 of them two
-        // units in (case 1 of Theorem 4.1, no revert).
-        faults = std::make_unique<WorkCascadeFaults>(2, std::max(1, t / 2 - 1),
-                                                     /*deliver_prefix=*/0);
-      else
-        faults = std::make_unique<WorkCascadeFaults>(
-            static_cast<std::uint64_t>(ceil_div(n, int_sqrt_ceil(t)) + 1), t - 1,
-            /*deliver_prefix=*/1);
-      RunResult r = checked_run(proto, cfg, std::move(faults));
-      table.add_row({std::to_string(t), std::to_string(n), proto,
-                     with_commas(r.metrics.work_total), with_commas(r.metrics.messages_total),
-                     with_commas(r.metrics.effort()), fmt_round(r.metrics.last_retire_round)});
-    }
-  }
-  table.print();
-  std::printf("\nShape check (fixed n/t ratio, growing t): baselines' effort grows ~ t^2 (tn); "
-              "A/B ~ t^1.5 in the message term; C/C_batch smallest messages; D smallest "
-              "rounds but t^2-heavy messages -- matching the paper's trade-off table.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return dowork::harness::bench_main(argc, argv, "effort_comparison");
 }

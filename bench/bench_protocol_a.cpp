@@ -1,47 +1,7 @@
-// Experiment T2 (Theorem 2.3): in every execution of Protocol A, work <= 3n,
-// messages <= 9 t sqrt(t), and all processes retire by round nt + 3t^2.
-#include "bench_util.h"
+// Experiment T2 (Theorem 2.3): Protocol A vs its work/message/time bounds.
+// Thin wrapper over the harness experiment registry.
+#include "harness/bench_main.h"
 
-using namespace dowork;
-using namespace dowork::bench;
-
-int main() {
-  header("T2: Protocol A vs Theorem 2.3 bounds",
-         "Paper claim: work <= 3n, messages <= 9t*sqrt(t), retire by nt+3t^2; "
-         "adversary = takeover cascade crashing each active process (worst observed "
-         "over cascade variants and 8 random schedules).");
-
-  TablePrinter table({"t", "sqrt(t)", "n", "max work", "3n", "max msgs", "9t*sqrt(t)",
-                      "max rounds", "nt+3t^2"});
-  for (int t : {4, 9, 16, 25, 36, 49, 64, 100}) {
-    const std::int64_t n = 16 * t;
-    DoAllConfig cfg{n, t};
-    std::uint64_t max_work = 0, max_msgs = 0, max_rounds = 0;
-    auto absorb = [&](const RunResult& r) {
-      max_work = std::max(max_work, r.metrics.work_total);
-      max_msgs = std::max(max_msgs, r.metrics.messages_total);
-      max_rounds = std::max(max_rounds, r.metrics.last_retire_round.to_u64_saturating());
-    };
-    // Cascade adversaries at several crash granularities.
-    for (std::uint64_t units : {std::uint64_t{1}, static_cast<std::uint64_t>(ceil_div(n, t)),
-                                static_cast<std::uint64_t>(ceil_div(n, int_sqrt_ceil(t)))}) {
-      for (std::size_t prefix : {std::size_t{0}, std::size_t{1}}) {
-        absorb(checked_run("A", cfg, std::make_unique<WorkCascadeFaults>(units, t - 1, prefix)));
-      }
-    }
-    for (unsigned seed = 0; seed < 8; ++seed)
-      absorb(checked_run("A", cfg, std::make_unique<RandomFaults>(0.05, t - 1, seed)));
-
-    const std::uint64_t s = static_cast<std::uint64_t>(int_sqrt_ceil(t));
-    const std::uint64_t tu = static_cast<std::uint64_t>(t);
-    const std::uint64_t nu = static_cast<std::uint64_t>(n);
-    table.add_row({std::to_string(t), std::to_string(s), std::to_string(n),
-                   with_commas(max_work), with_commas(3 * nu), with_commas(max_msgs),
-                   with_commas(9 * tu * s), with_commas(max_rounds),
-                   with_commas(nu * tu + 3 * tu * tu)});
-  }
-  table.print();
-  std::printf("\nShape check: every measured column stays below its theorem column; messages "
-              "grow ~ t^1.5.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return dowork::harness::bench_main(argc, argv, "protocol_a");
 }

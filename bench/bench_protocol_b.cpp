@@ -1,45 +1,7 @@
-// Experiment T3 (Theorem 2.8): Protocol B keeps Protocol A's work and
-// message bounds (<= 3n work, <= 10 t sqrt(t) messages) while retiring
-// everyone by round 3n + 8t -- linear instead of Protocol A's nt + 3t^2.
-#include "bench_util.h"
+// Experiment T3 (Theorem 2.8): Protocol B vs its work/message/time bounds.
+// Thin wrapper over the harness experiment registry.
+#include "harness/bench_main.h"
 
-using namespace dowork;
-using namespace dowork::bench;
-
-int main() {
-  header("T3: Protocol B vs Theorem 2.8 bounds",
-         "Paper claim: work <= 3n, messages <= 10t*sqrt(t) (go-aheads included), "
-         "all retired by 3n + 8t rounds; worst over cascades and 8 random schedules.");
-
-  TablePrinter table({"t", "n", "max work", "3n", "max msgs", "10t*sqrt(t)", "go-aheads",
-                      "max rounds", "3n+8t"});
-  for (int t : {4, 9, 16, 25, 36, 49, 64, 100}) {
-    const std::int64_t n = 16 * t;
-    DoAllConfig cfg{n, t};
-    std::uint64_t max_work = 0, max_msgs = 0, max_rounds = 0, max_goahead = 0;
-    auto absorb = [&](const RunResult& r) {
-      max_work = std::max(max_work, r.metrics.work_total);
-      max_msgs = std::max(max_msgs, r.metrics.messages_total);
-      max_goahead = std::max(max_goahead, r.metrics.messages_of(MsgKind::kGoAhead));
-      max_rounds = std::max(max_rounds, r.metrics.last_retire_round.to_u64_saturating());
-    };
-    for (std::uint64_t units : {std::uint64_t{1}, static_cast<std::uint64_t>(ceil_div(n, t))}) {
-      for (std::size_t prefix : {std::size_t{0}, std::size_t{1}})
-        absorb(checked_run("B", cfg, std::make_unique<WorkCascadeFaults>(units, t - 1, prefix)));
-    }
-    for (unsigned seed = 0; seed < 8; ++seed)
-      absorb(checked_run("B", cfg, std::make_unique<RandomFaults>(0.05, t - 1, seed)));
-
-    const std::uint64_t s = static_cast<std::uint64_t>(int_sqrt_ceil(t));
-    const std::uint64_t tu = static_cast<std::uint64_t>(t);
-    const std::uint64_t nu = static_cast<std::uint64_t>(n);
-    table.add_row({std::to_string(t), std::to_string(n), with_commas(max_work),
-                   with_commas(3 * nu), with_commas(max_msgs), with_commas(10 * tu * s),
-                   with_commas(max_goahead), with_commas(max_rounds),
-                   with_commas(3 * nu + 8 * tu)});
-  }
-  table.print();
-  std::printf("\nShape check: rounds linear in n + t (vs Protocol A's nt + 3t^2 deadline "
-              "cascade; see bench_time_a_vs_b for the head-to-head).\n");
-  return 0;
+int main(int argc, char** argv) {
+  return dowork::harness::bench_main(argc, argv, "protocol_b");
 }

@@ -1,51 +1,7 @@
-// Experiment T4 (Theorem 3.8 + Corollary 3.9): Protocol C performs at most
-// n + 2t units of work and sends at most n + 8 t log t messages; reporting
-// every ceil(n/t) units instead of every unit removes the n term
-// (O(t log t) messages) at the price of yet more (still exponential) time.
-#include "bench_util.h"
+// Experiment T4 (Theorem 3.8 + Corollary 3.9): Protocol C and its batched
+// variant.  Thin wrapper over the harness experiment registry.
+#include "harness/bench_main.h"
 
-using namespace dowork;
-using namespace dowork::bench;
-
-int main() {
-  header("T4: Protocol C vs Theorem 3.8 / Corollary 3.9 bounds",
-         "Paper claim: work <= n + 2t; messages <= n + 8t log t (variant: O(t log t)); "
-         "time exponential in n + t.  Adversary: takeover cascade; worst over variants.");
-
-  TablePrinter table({"t", "n", "proto", "max work", "n+2t", "max msgs", "n+8TlogT",
-                      "polls", "rounds (last retire)"});
-  for (int t : {4, 8, 16, 32, 64}) {
-    const std::int64_t n = 4 * t;
-    DoAllConfig cfg{n, t};
-    for (const char* proto : {"C", "C_batch"}) {
-      std::uint64_t max_work = 0, max_msgs = 0, max_polls = 0;
-      Round max_rounds{0};
-      auto absorb = [&](const RunResult& r) {
-        max_work = std::max(max_work, r.metrics.work_total);
-        max_msgs = std::max(max_msgs, r.metrics.messages_total);
-        max_polls = std::max(max_polls, r.metrics.messages_of(MsgKind::kPoll));
-        if (r.metrics.last_retire_round > max_rounds) max_rounds = r.metrics.last_retire_round;
-      };
-      absorb(checked_run(proto, cfg, std::make_unique<NoFaults>()));
-      absorb(checked_run(proto, cfg, std::make_unique<WorkCascadeFaults>(1, t - 1, 0)));
-      absorb(checked_run(proto, cfg,
-                         std::make_unique<WorkCascadeFaults>(
-                             static_cast<std::uint64_t>(ceil_div(n, t)), t - 1, 1)));
-      for (unsigned seed = 0; seed < 4; ++seed)
-        absorb(checked_run(proto, cfg, std::make_unique<RandomFaults>(0.05, t - 1, seed)));
-
-      const std::uint64_t T = static_cast<std::uint64_t>(pow2_ceil(t));
-      const std::uint64_t L = static_cast<std::uint64_t>(std::max(1, log2_of_pow2(pow2_ceil(t))));
-      table.add_row({std::to_string(t), std::to_string(n), proto, with_commas(max_work),
-                     with_commas(static_cast<std::uint64_t>(n) + 2 * t),
-                     with_commas(max_msgs),
-                     with_commas(static_cast<std::uint64_t>(n) + 8 * T * L),
-                     with_commas(max_polls), fmt_round(max_rounds)});
-    }
-  }
-  table.print();
-  std::printf("\nShape check: C's messages grow ~ n + t log t (C_batch drops the n term); the "
-              "round column is astronomically large (deadlines 2^(n+t)) yet simulated exactly "
-              "via 512-bit fast-forward.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return dowork::harness::bench_main(argc, argv, "protocol_c");
 }

@@ -1,111 +1,8 @@
-// Experiment T5 + F4 (Theorem 4.1): Protocol D is time-optimal without
-// failures (n/t + 2 rounds, 2t^2 messages) and degrades gracefully: with f
-// failures (never losing a majority in one phase) work <= 2n, messages <=
-// (4f+2) t^2, rounds <= (f+1) n/t + 4f + 2; a majority loss reverts to
-// Protocol A with case-2 bounds.
-#include "bench_util.h"
+// Experiments T5/F4/T5b/T10 (Theorem 4.1, Section 4): Protocol D, graceful
+// degradation, majority-loss revert, coordinator variant.  Thin wrapper over
+// the harness experiment registry.
+#include "harness/bench_main.h"
 
-using namespace dowork;
-using namespace dowork::bench;
-
-int main() {
-  header("T5: Protocol D vs Theorem 4.1 (case 1)",
-         "Paper claim: failure-free n/t+2 rounds and 2t^2 messages; f failures: work <= 2n, "
-         "msgs <= (4f+2)t^2, rounds <= (f+1)n/t + 4f + 2 (small pipeline slack; see DESIGN.md).");
-
-  TablePrinter t5({"t", "n", "f", "work", "2n", "msgs", "(4f+2)t^2", "rounds",
-                   "(f+1)n/t+4f+2"});
-  for (int t : {4, 8, 16, 32}) {
-    const std::int64_t n = 32 * t;
-    DoAllConfig cfg{n, t};
-    for (int f : {0, 1, t / 4, t / 2}) {
-      std::vector<ScheduledFaults::Entry> entries;
-      for (int p = 0; p < f; ++p)
-        entries.push_back({p, static_cast<std::uint64_t>(1 + 2 * p), CrashPlan{true, 0}});
-      RunResult r =
-          checked_run("D", cfg, std::make_unique<ScheduledFaults>(std::move(entries)));
-      const std::uint64_t tu = static_cast<std::uint64_t>(t);
-      const std::uint64_t nu = static_cast<std::uint64_t>(n);
-      t5.add_row({std::to_string(t), std::to_string(n), std::to_string(f),
-                  with_commas(r.metrics.work_total), with_commas(2 * nu),
-                  with_commas(r.metrics.messages_total),
-                  with_commas((4 * static_cast<std::uint64_t>(f) + 2) * tu * tu),
-                  fmt_round(r.metrics.last_retire_round),
-                  with_commas(static_cast<std::uint64_t>(f + 1) * (nu / tu) + 4 * f + 2)});
-    }
-  }
-  t5.print();
-
-  header("F4: graceful degradation -- rounds vs number of failures",
-         "Paper claim: time grows ~ (f+1) n/t + 4f + 2 as f goes 0..t-1 (n=4096, t=16).");
-  TablePrinter f4({"f", "rounds", "bound (f+1)n/t+4f+2", "work", "messages"});
-  {
-    DoAllConfig cfg{4096, 16};
-    for (int f = 0; f <= 15; ++f) {
-      std::vector<ScheduledFaults::Entry> entries;
-      for (int p = 0; p < f; ++p)
-        entries.push_back({p, static_cast<std::uint64_t>(3 + 5 * p), CrashPlan{true, 0}});
-      RunResult r =
-          checked_run("D", cfg, std::make_unique<ScheduledFaults>(std::move(entries)));
-      f4.add_row({std::to_string(f), fmt_round(r.metrics.last_retire_round),
-                  with_commas(static_cast<std::uint64_t>(f + 1) * 256 + 4 * f + 2),
-                  with_commas(r.metrics.work_total), with_commas(r.metrics.messages_total)});
-    }
-  }
-  f4.print();
-
-  header("T5b: majority loss reverts to Protocol A (Theorem 4.1 case 2)",
-         "Paper claim: work <= 4n, msgs <= (4f+2)t^2 + 9t*sqrt(t)/(2*sqrt(2)), rounds gain "
-         "+nt/2 + 3t^2/4.");
-  TablePrinter t5b({"t", "n", "killed in phase 1", "work", "4n", "msgs", "rounds"});
-  for (int t : {8, 16, 32}) {
-    const std::int64_t n = 16 * t;
-    DoAllConfig cfg{n, t};
-    int kill = t / 2 + 1;
-    std::vector<ScheduledFaults::Entry> entries;
-    for (int p = 0; p < kill; ++p) entries.push_back({p, 2, CrashPlan{true, 0}});
-    RunResult r = checked_run("D", cfg, std::make_unique<ScheduledFaults>(std::move(entries)));
-    t5b.add_row({std::to_string(t), std::to_string(n), std::to_string(kill),
-                 with_commas(r.metrics.work_total),
-                 with_commas(4 * static_cast<std::uint64_t>(n)),
-                 with_commas(r.metrics.messages_total),
-                 fmt_round(r.metrics.last_retire_round)});
-  }
-  t5b.print();
-
-  header("T10: coordinator agreement variant (Section 4, closing remark)",
-         "Paper claim: sending views to a coordinator who broadcasts the result cuts "
-         "failure-free messages to 2(t-1) per phase, same work; coordinator failure falls "
-         "back to broadcast agreement.");
-  TablePrinter t10({"t", "n", "scenario", "work", "msgs D", "msgs D_coord", "2(t-1)"});
-  for (int t : {8, 16, 32}) {
-    const std::int64_t n = 16 * t;
-    DoAllConfig cfg{n, t};
-    {
-      RunResult d = checked_run("D", cfg, std::make_unique<NoFaults>());
-      RunResult dc = checked_run("D_coord", cfg, std::make_unique<NoFaults>());
-      t10.add_row({std::to_string(t), std::to_string(n), "failure-free",
-                   with_commas(dc.metrics.work_total), with_commas(d.metrics.messages_total),
-                   with_commas(dc.metrics.messages_total),
-                   with_commas(2u * static_cast<std::uint64_t>(t - 1))});
-    }
-    {
-      // Kill the phase-1 coordinator during its final broadcast.
-      auto sched = [&] {
-        return std::make_unique<ScheduledFaults>(std::vector<ScheduledFaults::Entry>{
-            {0, static_cast<std::uint64_t>(n / t + 1), CrashPlan{false, 2}}});
-      };
-      RunResult d = checked_run("D", cfg, sched());
-      RunResult dc = checked_run("D_coord", cfg, sched());
-      t10.add_row({std::to_string(t), std::to_string(n), "coordinator dies",
-                   with_commas(dc.metrics.work_total), with_commas(d.metrics.messages_total),
-                   with_commas(dc.metrics.messages_total), "(fallback)"});
-    }
-  }
-  t10.print();
-  std::printf("\nShape check: failure-free row matches n/t + 2 rounds and 2t(t-1) messages "
-              "exactly for D, and 2(t-1) for D_coord; the coordinator-crash rows pay the "
-              "broadcast fallback; rounds grow linearly in f; revert rows stay under 4n "
-              "work.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return dowork::harness::bench_main(argc, argv, "protocol_d");
 }

@@ -1,86 +1,8 @@
-// Experiments T8/F6 (paper Section 1.1, related work):
-//
-// (a) Available processor steps.  Kanellakis-Shvartsman's measure charges
-// every non-faulty process for every round the algorithm runs; the paper
-// argues effort (work + messages) is the right measure for message passing
-// because idle processes are free.  The contrast is extreme: Protocol C is
-// effort-near-optimal but its APS is astronomically large (its deadlines
-// are exponential), and even Protocol A's APS is Theta(n t^2).  De Prisco,
-// Mayer and Yung later showed any message-passing algorithm needs n^2 APS
-// when t ~ n; Protocol D, which keeps everyone busy, is the APS-friendly
-// one.
-//
-// (b) Shared memory.  The paper notes shared memory "simplifies things
-// considerably": a progress counter survives crashes, so the
-// straightforward algorithm achieves optimal O(n + t) effort; the
-// message-passing protocols must reconstruct that state with checkpoint
-// waves.
-#include "bench_util.h"
-#include "sharedmem/write_all.h"
+// Experiments T8/F6 (Section 1.1): effort vs available processor steps, and
+// the shared-memory progress counter.  Thin wrapper over the harness
+// experiment registry.
+#include "harness/bench_main.h"
 
-using namespace dowork;
-using namespace dowork::bench;
-
-int main() {
-  header("T8: effort vs available processor steps (Section 1.1)",
-         "Paper claim: the APS measure charges idle waiting; the sequential protocols are "
-         "effort-optimal but APS-terrible (C: exponential), while Protocol D is APS-friendly. "
-         "Adversary: chunk cascade, f = t-1 (D: t/2-1).");
-
-  TablePrinter aps({"t", "n", "protocol", "effort", "APS", "APS/effort"});
-  for (int t : {8, 16, 32}) {
-    const std::int64_t n = 4 * t;
-    DoAllConfig cfg{n, t};
-    for (const char* proto : {"A", "B", "C", "D"}) {
-      std::unique_ptr<FaultInjector> faults;
-      if (std::string(proto) == "D")
-        faults = std::make_unique<WorkCascadeFaults>(2, std::max(1, t / 2 - 1), 0);
-      else
-        faults = std::make_unique<WorkCascadeFaults>(
-            static_cast<std::uint64_t>(ceil_div(n, int_sqrt_ceil(t)) + 1), t - 1, 1);
-      RunResult r = checked_run(proto, cfg, std::move(faults));
-      const Round& steps = r.metrics.available_processor_steps;
-      std::string ratio_str =
-          steps.fits_u64()
-              ? ratio(static_cast<double>(steps.to_u64_saturating()) /
-                      static_cast<double>(r.metrics.effort()))
-              : "~2^" + std::to_string(steps.log2_floor());
-      aps.add_row({std::to_string(t), std::to_string(n), proto,
-                   with_commas(r.metrics.effort()), fmt_round(steps), ratio_str});
-    }
-  }
-  aps.print();
-
-  header("F6: message passing vs shared memory (Section 1.1)",
-         "Paper claim: with shared memory a progress counter gives optimal O(n+t) effort "
-         "(reads+writes+work); message passing pays checkpoint waves for the same resilience. "
-         "Adversary: t-1 crashes, one chunk into each takeover.");
-  TablePrinter sm({"t", "n", "sharedmem effort", "2n+O(t)", "ProtoA effort", "ProtoC effort"});
-  for (int t : {8, 16, 32, 64}) {
-    const std::int64_t n = 4 * t;
-    DoAllConfig cfg{n, t};
-    std::vector<std::optional<SharedMemSim::CrashSpec>> crashes(static_cast<std::size_t>(t));
-    for (int p = 0; p < t - 1; ++p)
-      crashes[static_cast<std::size_t>(p)] =
-          SharedMemSim::CrashSpec{static_cast<std::uint64_t>(2 * ceil_div(n, t)) + 3, true};
-    SharedMetrics shared = run_write_all(cfg, std::move(crashes));
-    if (!shared.all_units_done()) {
-      std::fprintf(stderr, "FATAL: write-all incomplete\n");
-      return 1;
-    }
-    auto cascade = [&] {
-      return std::make_unique<WorkCascadeFaults>(
-          static_cast<std::uint64_t>(ceil_div(n, int_sqrt_ceil(t)) + 1), t - 1, 1);
-    };
-    RunResult a = checked_run("A", cfg, cascade());
-    RunResult c = checked_run("C", cfg, cascade());
-    sm.add_row({std::to_string(t), std::to_string(n), with_commas(shared.effort()),
-                with_commas(2 * static_cast<std::uint64_t>(n) + 3 * t),
-                with_commas(a.metrics.effort()), with_commas(c.metrics.effort())});
-  }
-  sm.print();
-  std::printf("\nShape check: shared-memory effort hugs 2n + O(t); the message-passing rows "
-              "carry the additional t^1.5 / t log t checkpoint terms -- the gap the paper's "
-              "model discussion predicts.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return dowork::harness::bench_main(argc, argv, "related_models");
 }

@@ -1,37 +1,7 @@
-// Experiment F5 (Theorems 2.3c vs 2.8c): the entire point of Protocol B.
-// Protocol A's takeover deadlines DD(j) = j(n + 3t) make its worst-case
-// running time Theta(nt + t^2); Protocol B's message-relative timeouts plus
-// go-ahead probing bring it to 3n + 8t.  Same work, slightly more messages.
-#include "bench_util.h"
+// Experiment F5 (Theorems 2.3c vs 2.8c): rounds-to-completion, A vs B.
+// Thin wrapper over the harness experiment registry.
+#include "harness/bench_main.h"
 
-using namespace dowork;
-using namespace dowork::bench;
-
-int main() {
-  header("F5: rounds-to-completion, Protocol A vs Protocol B",
-         "Paper claim: A retires by nt + 3t^2, B by 3n + 8t (both work <= 3n).  Adversary: "
-         "full cascade, each active process crashes after one unit, reaching nobody.");
-
-  TablePrinter table({"t", "n", "A rounds", "A bound nt+3t^2", "B rounds", "B bound 3n+8t",
-                      "speedup", "A msgs", "B msgs"});
-  for (int t : {4, 16, 36, 64, 100, 144}) {
-    const std::int64_t n = 64 * t;
-    DoAllConfig cfg{n, t};
-    auto cascade = [&] { return std::make_unique<WorkCascadeFaults>(1, t - 1, 0); };
-    RunResult ra = checked_run("A", cfg, cascade());
-    RunResult rb = checked_run("B", cfg, cascade());
-    const std::uint64_t nu = static_cast<std::uint64_t>(n);
-    const std::uint64_t tu = static_cast<std::uint64_t>(t);
-    double speedup = static_cast<double>(ra.metrics.last_retire_round.to_u64_saturating()) /
-                     static_cast<double>(rb.metrics.last_retire_round.to_u64_saturating());
-    table.add_row({std::to_string(t), std::to_string(n),
-                   fmt_round(ra.metrics.last_retire_round), with_commas(nu * tu + 3 * tu * tu),
-                   fmt_round(rb.metrics.last_retire_round), with_commas(3 * nu + 8 * tu),
-                   ratio(speedup), with_commas(ra.metrics.messages_total),
-                   with_commas(rb.metrics.messages_total)});
-  }
-  table.print();
-  std::printf("\nShape check: the speedup column grows ~ t/3 (A is Theta(nt), B is Theta(n)): "
-              "the crossover the paper buys with go-ahead probing.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return dowork::harness::bench_main(argc, argv, "time_a_vs_b");
 }

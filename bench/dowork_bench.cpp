@@ -1,0 +1,13 @@
+// Unified benchmark CLI: every experiment from the paper's evaluation,
+// expanded to declarative scenarios and fanned out across a thread pool.
+//
+//   dowork_bench --list
+//   dowork_bench --experiment checkpoint_sweep --jobs 8
+//   dowork_bench --experiment all --json report.json
+//
+// The JSON report is byte-identical at any --jobs value (scenarios are
+// seeded values and rows are emitted in scenario order), so CI can diff
+// trajectories across commits.
+#include "harness/bench_main.h"
+
+int main(int argc, char** argv) { return dowork::harness::bench_main(argc, argv); }

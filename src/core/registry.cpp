@@ -16,54 +16,66 @@ const std::vector<ProtocolInfo>& all_protocols() {
   static const std::vector<ProtocolInfo> kProtocols = [] {
     std::vector<ProtocolInfo> v;
     v.push_back(ProtocolInfo{
-        "baseline_all", /*sequential=*/false, /*strict_one_op=*/true,
-        [](const DoAllConfig& cfg, int self) -> std::unique_ptr<IProcess> {
+        .name = "baseline_all", .sequential = false, .strict_one_op = true,
+        .make_proc = [](const DoAllConfig& cfg, int self) -> std::unique_ptr<IProcess> {
           return std::make_unique<BaselineAllProcess>(cfg, self);
-        }});
+        },
+        .make_proc_param = {}});
     v.push_back(ProtocolInfo{
-        "baseline_checkpoint", /*sequential=*/true, /*strict_one_op=*/true,
-        [](const DoAllConfig& cfg, int self) -> std::unique_ptr<IProcess> {
+        .name = "baseline_checkpoint", .sequential = true, .strict_one_op = true,
+        .make_proc = [](const DoAllConfig& cfg, int self) -> std::unique_ptr<IProcess> {
           return std::make_unique<BaselineCheckpointProcess>(cfg, self, /*k=*/1);
+        },
+        .make_proc_param = [](const DoAllConfig& cfg, int self, std::int64_t units_per_ckpt)
+            -> std::unique_ptr<IProcess> {
+          return std::make_unique<BaselineCheckpointProcess>(cfg, self, units_per_ckpt);
         }});
     v.push_back(ProtocolInfo{
-        "A", /*sequential=*/true, /*strict_one_op=*/true,
-        [](const DoAllConfig& cfg, int self) -> std::unique_ptr<IProcess> {
+        .name = "A", .sequential = true, .strict_one_op = true,
+        .make_proc = [](const DoAllConfig& cfg, int self) -> std::unique_ptr<IProcess> {
           return std::make_unique<ProtocolAProcess>(cfg, self);
-        }});
+        },
+        .make_proc_param = {}});
     v.push_back(ProtocolInfo{
-        "B", /*sequential=*/true, /*strict_one_op=*/true,
-        [](const DoAllConfig& cfg, int self) -> std::unique_ptr<IProcess> {
+        .name = "B", .sequential = true, .strict_one_op = true,
+        .make_proc = [](const DoAllConfig& cfg, int self) -> std::unique_ptr<IProcess> {
           return std::make_unique<ProtocolBProcess>(cfg, self);
-        }});
+        },
+        .make_proc_param = {}});
     v.push_back(ProtocolInfo{
-        "C", /*sequential=*/true, /*strict_one_op=*/true,
-        [](const DoAllConfig& cfg, int self) -> std::unique_ptr<IProcess> {
+        .name = "C", .sequential = true, .strict_one_op = true,
+        .make_proc = [](const DoAllConfig& cfg, int self) -> std::unique_ptr<IProcess> {
           return std::make_unique<ProtocolCProcess>(cfg, self);
-        }});
+        },
+        .make_proc_param = {}});
     v.push_back(ProtocolInfo{
-        "C_batch", /*sequential=*/true, /*strict_one_op=*/true,
-        [](const DoAllConfig& cfg, int self) -> std::unique_ptr<IProcess> {
+        .name = "C_batch", .sequential = true, .strict_one_op = true,
+        .make_proc = [](const DoAllConfig& cfg, int self) -> std::unique_ptr<IProcess> {
           ProtocolCOptions o;
           o.batch_reports = true;
           return std::make_unique<ProtocolCProcess>(cfg, self, o);
-        }});
+        },
+        .make_proc_param = {}});
     v.push_back(ProtocolInfo{
-        "naive_C", /*sequential=*/true, /*strict_one_op=*/true,
-        [](const DoAllConfig& cfg, int self) -> std::unique_ptr<IProcess> {
+        .name = "naive_C", .sequential = true, .strict_one_op = true,
+        .make_proc = [](const DoAllConfig& cfg, int self) -> std::unique_ptr<IProcess> {
           ProtocolCOptions o;
           o.fault_detection = false;
           return std::make_unique<ProtocolCProcess>(cfg, self, o);
-        }});
+        },
+        .make_proc_param = {}});
     v.push_back(ProtocolInfo{
-        "D", /*sequential=*/false, /*strict_one_op=*/true,
-        [](const DoAllConfig& cfg, int self) -> std::unique_ptr<IProcess> {
+        .name = "D", .sequential = false, .strict_one_op = true,
+        .make_proc = [](const DoAllConfig& cfg, int self) -> std::unique_ptr<IProcess> {
           return std::make_unique<ProtocolDProcess>(cfg, self);
-        }});
+        },
+        .make_proc_param = {}});
     v.push_back(ProtocolInfo{
-        "D_coord", /*sequential=*/false, /*strict_one_op=*/true,
-        [](const DoAllConfig& cfg, int self) -> std::unique_ptr<IProcess> {
+        .name = "D_coord", .sequential = false, .strict_one_op = true,
+        .make_proc = [](const DoAllConfig& cfg, int self) -> std::unique_ptr<IProcess> {
           return std::make_unique<ProtocolDCoordProcess>(cfg, self);
-        }});
+        },
+        .make_proc_param = {}});
     return v;
   }();
   return kProtocols;
@@ -77,9 +89,18 @@ const ProtocolInfo& find_protocol(const std::string& name) {
 
 std::vector<std::unique_ptr<IProcess>> make_processes(const ProtocolInfo& info,
                                                       const DoAllConfig& cfg) {
+  return make_processes(info, cfg, std::nullopt);
+}
+
+std::vector<std::unique_ptr<IProcess>> make_processes(const ProtocolInfo& info,
+                                                      const DoAllConfig& cfg,
+                                                      std::optional<std::int64_t> param) {
+  if (param && !info.make_proc_param)
+    throw std::invalid_argument("protocol " + info.name + " takes no parameter");
   std::vector<std::unique_ptr<IProcess>> procs;
   procs.reserve(static_cast<std::size_t>(cfg.t));
-  for (int i = 0; i < cfg.t; ++i) procs.push_back(info.make_proc(cfg, i));
+  for (int i = 0; i < cfg.t; ++i)
+    procs.push_back(param ? info.make_proc_param(cfg, i, *param) : info.make_proc(cfg, i));
   return procs;
 }
 

@@ -5,6 +5,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,11 @@ struct ProtocolInfo {
   // simulator's strict mode).
   bool strict_one_op = false;
   std::function<std::unique_ptr<IProcess>(const DoAllConfig&, int self)> make_proc;
+  // Scenario hook: protocols whose construction takes a tunable integer
+  // (e.g. baseline_checkpoint's units-per-checkpoint).  Null for the rest;
+  // the harness sweeps the parameter via RunOptions::protocol_param.
+  std::function<std::unique_ptr<IProcess>(const DoAllConfig&, int self, std::int64_t param)>
+      make_proc_param;
 };
 
 // All registered protocols (baselines, A, B, C, C_batch, naive_C, D).
@@ -30,8 +36,13 @@ const std::vector<ProtocolInfo>& all_protocols();
 // Lookup by name; throws std::invalid_argument for unknown names.
 const ProtocolInfo& find_protocol(const std::string& name);
 
-// Instantiate the full process vector for a run.
+// Instantiate the full process vector for a run.  `param` selects the
+// parameterized factory (make_proc_param) when set; protocols without one
+// reject a param loudly rather than silently ignoring it.
 std::vector<std::unique_ptr<IProcess>> make_processes(const ProtocolInfo& info,
                                                       const DoAllConfig& cfg);
+std::vector<std::unique_ptr<IProcess>> make_processes(const ProtocolInfo& info,
+                                                      const DoAllConfig& cfg,
+                                                      std::optional<std::int64_t> param);
 
 }  // namespace dowork

@@ -10,7 +10,7 @@ RunResult run_do_all(const ProtocolInfo& info, const DoAllConfig& cfg,
   sim_opts.max_stepped_rounds = opts.max_stepped_rounds;
   sim_opts.n_units = cfg.n;
 
-  Simulator sim(make_processes(info, cfg), std::move(faults), sim_opts);
+  Simulator sim(make_processes(info, cfg, opts.protocol_param), std::move(faults), sim_opts);
   RunResult result;
   result.metrics = sim.run();
   result.violation = verify_run(info, cfg, result.metrics);

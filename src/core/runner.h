@@ -3,6 +3,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "core/registry.h"
@@ -23,6 +24,9 @@ struct RunOptions {
   // Override the protocol's declared strictness (e.g. the Byzantine layer
   // legitimately pairs work with a value send).
   bool enforce_strict = true;
+  // Scenario hook: tunable protocol parameter, forwarded to the registry's
+  // make_proc_param factory (e.g. baseline_checkpoint's units-per-checkpoint).
+  std::optional<std::int64_t> protocol_param;
 };
 
 RunResult run_do_all(const ProtocolInfo& info, const DoAllConfig& cfg,

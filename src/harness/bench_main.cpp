@@ -1,0 +1,155 @@
+#include "harness/bench_main.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <vector>
+
+#include "harness/experiments.h"
+#include "harness/parallel_runner.h"
+#include "harness/report.h"
+
+namespace dowork::harness {
+
+namespace {
+
+void print_usage(const char* argv0, const std::string& fixed_experiment) {
+  std::printf("usage: %s [options]\n", argv0);
+  if (fixed_experiment.empty())
+    std::printf("  --experiment NAME   experiment to run (or 'all'); see --list\n");
+  std::printf(
+      "  --jobs N            worker threads (default: hardware concurrency)\n"
+      "  --json PATH         write the machine-readable report to PATH ('-' = stdout)\n"
+      "  --list              list experiments and exit\n"
+      "  --quiet             suppress the tables\n"
+      "  --help              this text\n");
+}
+
+void list_experiments() {
+  for (const ExperimentInfo& e : all_experiments())
+    std::printf("%-20s %-40s %zu scenarios\n", e.name.c_str(), e.title.c_str(),
+                e.scenarios().size());
+}
+
+}  // namespace
+
+int bench_main(int argc, char** argv, const std::string& fixed_experiment) {
+  BenchOptions opt;
+  opt.experiment = fixed_experiment;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s needs a value\n", argv[0], arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--experiment") {
+      if (!fixed_experiment.empty()) {
+        std::fprintf(stderr, "%s: this binary is pinned to experiment '%s'\n", argv[0],
+                     fixed_experiment.c_str());
+        return 2;
+      }
+      opt.experiment = next();
+    } else if (arg == "--jobs") {
+      const char* value = next();
+      char* end = nullptr;
+      opt.jobs = static_cast<int>(std::strtol(value, &end, 10));
+      if (end == value || *end != '\0' || opt.jobs < 0) {
+        std::fprintf(stderr, "%s: --jobs wants a non-negative integer, got '%s'\n", argv[0],
+                     value);
+        return 2;
+      }
+    } else if (arg == "--json") {
+      opt.json_path = next();
+    } else if (arg == "--list") {
+      opt.list_only = true;
+    } else if (arg == "--quiet") {
+      opt.quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage(argv[0], fixed_experiment);
+      return 0;
+    } else {
+      std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], arg.c_str());
+      print_usage(argv[0], fixed_experiment);
+      return 2;
+    }
+  }
+
+  if (opt.list_only) {
+    list_experiments();
+    return 0;
+  }
+  if (opt.experiment.empty()) {
+    std::fprintf(stderr, "%s: pick an experiment with --experiment NAME (see --list)\n",
+                 argv[0]);
+    return 2;
+  }
+
+  std::vector<const ExperimentInfo*> selected;
+  if (opt.experiment == "all") {
+    for (const ExperimentInfo& e : all_experiments()) selected.push_back(&e);
+  } else {
+    const ExperimentInfo* e = find_experiment(opt.experiment);
+    if (!e) {
+      std::fprintf(stderr, "%s: unknown experiment '%s' (see --list)\n", argv[0],
+                   opt.experiment.c_str());
+      return 2;
+    }
+    selected.push_back(e);
+  }
+
+  ParallelScenarioRunner runner(opt.jobs);
+  std::vector<std::string> json_docs;
+  bool all_ok = true;
+  for (const ExperimentInfo* e : selected) {
+    const std::vector<Scenario> scenarios = e->scenarios();
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<ScenarioResult> rows = runner.run(e->name, scenarios);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    if (!opt.quiet) {
+      std::printf("\n=== %s -- %s ===\n%s\n\n", e->name.c_str(), e->title.c_str(),
+                  e->claim.c_str());
+      std::printf("%s", render_table(aggregate(rows)).c_str());
+      std::printf("\n%zu scenarios, %zu runs on %d thread(s) in %.2fs\n", scenarios.size(),
+                  rows.size(), runner.jobs(), secs);
+    }
+    for (const ScenarioResult& row : rows)
+      if (!row.ok) {
+        all_ok = false;
+        std::fprintf(stderr, "FAILED: %s/%s rep %d: %s\n", e->name.c_str(), row.id.c_str(),
+                     row.rep, row.violation.c_str());
+      }
+    if (!opt.json_path.empty()) json_docs.push_back(to_json(e->name, rows));
+  }
+
+  if (!opt.json_path.empty()) {
+    std::string doc;
+    if (json_docs.size() == 1) {
+      doc = json_docs.front() + "\n";
+    } else {
+      doc = "[";
+      for (std::size_t i = 0; i < json_docs.size(); ++i) {
+        if (i) doc += ',';
+        doc += json_docs[i];
+      }
+      doc += "]\n";
+    }
+    if (opt.json_path == "-") {
+      std::fwrite(doc.data(), 1, doc.size(), stdout);
+    } else {
+      std::ofstream out(opt.json_path, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "%s: cannot write %s\n", argv[0], opt.json_path.c_str());
+        return 1;
+      }
+      out << doc;
+    }
+  }
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace dowork::harness

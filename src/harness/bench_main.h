@@ -1,0 +1,30 @@
+// Shared CLI driver for the benchmark executables.
+//
+// The unified `dowork_bench` binary and the thin per-experiment wrappers
+// (bench_protocol_a, bench_checkpoint_sweep, ...) all funnel into
+// bench_main(): parse flags, expand experiments to scenarios, fan out on the
+// ParallelScenarioRunner, print paper-style tables, optionally write the
+// deterministic JSON report.
+#pragma once
+
+#include <string>
+
+namespace dowork::harness {
+
+struct BenchOptions {
+  // Experiment names to run; empty = the fixed experiment of a wrapper
+  // binary, or all experiments for `dowork_bench --experiment all`.
+  std::string experiment;
+  int jobs = 0;           // 0 = hardware concurrency
+  std::string json_path;  // empty = no JSON output
+  bool list_only = false;
+  bool quiet = false;  // suppress tables (JSON/e2e timing only)
+};
+
+// Parses argv (flags: --experiment NAME, --jobs N, --json PATH, --list,
+// --quiet, --help).  `fixed_experiment` pins a wrapper binary to its
+// experiment (its --experiment flag is rejected).  Returns the process exit
+// code.
+int bench_main(int argc, char** argv, const std::string& fixed_experiment = "");
+
+}  // namespace dowork::harness

@@ -1,0 +1,488 @@
+#include "harness/experiments.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+
+namespace dowork::harness {
+
+namespace {
+
+Scenario sync_scenario(std::string group, std::string protocol, std::int64_t n, int t,
+                       FaultSpec faults, int reps = 1) {
+  Scenario s;
+  s.group = std::move(group);
+  s.substrate = Substrate::kSync;
+  s.protocol = std::move(protocol);
+  s.cfg = DoAllConfig{n, t};
+  s.faults = std::move(faults);
+  s.repetitions = reps;
+  s.id = s.group + "/" + s.faults.to_string();
+  return s;
+}
+
+std::uint64_t u(std::int64_t v) { return static_cast<std::uint64_t>(v); }
+
+// The worst-case adversary the seed benches used for the sequential
+// protocols: a takeover cascade crashing each active worker one chunk in,
+// its broadcast truncated to a single recipient.
+FaultSpec chunk_cascade(std::int64_t n, int t) {
+  return FaultSpec::cascade(u(ceil_div(n, int_sqrt_ceil(t)) + 1), t - 1, /*prefix=*/1);
+}
+
+// --- F1: checkpoint-frequency sweep ----------------------------------------
+
+std::vector<Scenario> checkpoint_sweep_scenarios() {
+  const int t = 32;
+  const std::int64_t n = 1024;
+  std::vector<Scenario> out;
+  for (std::int64_t k : {1, 2, 4, 6, 8, 12, 16, 24, 32, 64, 128, 256, 1024}) {
+    const std::int64_t per = std::max<std::int64_t>(1, n / k);
+    Scenario s = sync_scenario("k=" + std::to_string(k), "baseline_checkpoint", n, t,
+                               FaultSpec::cascade(u(per), t - 1, 0));
+    s.params["protocol_param"] = per;
+    s.params["bound_units_per_ckpt"] = per;
+    s.id = s.group + "/per=" + std::to_string(per);
+    out.push_back(std::move(s));
+  }
+  // Protocol A's two-level checkpointing on the same adversary family.
+  out.push_back(sync_scenario("protocol_A", "A", n, t,
+                              FaultSpec::cascade(u(ceil_div(n, t)), t - 1, 0)));
+  return out;
+}
+
+// --- T1: trivial baselines -------------------------------------------------
+
+std::vector<Scenario> baselines_scenarios() {
+  std::vector<Scenario> out;
+  for (int t : {4, 8, 16, 32, 64}) {
+    const std::int64_t n = 1024;
+    for (const char* proto : {"baseline_all", "baseline_checkpoint", "A"}) {
+      const bool all = std::string(proto) == "baseline_all";
+      Scenario s = sync_scenario("t=" + std::to_string(t) + "/" + proto, proto, n, t,
+                                 all ? FaultSpec::none() : chunk_cascade(n, t));
+      s.params["bound_effort_tn"] = t * n;
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+// --- T2 / T3: Protocols A and B vs their theorem bounds ---------------------
+
+std::vector<Scenario> protocol_bounds_scenarios(const std::string& proto,
+                                                std::uint64_t msg_factor,
+                                                bool linear_time_bound) {
+  std::vector<Scenario> out;
+  for (int t : {4, 9, 16, 25, 36, 49, 64, 100}) {
+    const std::int64_t n = 16 * t;
+    const std::string group = "t=" + std::to_string(t);
+    const std::uint64_t s_ = u(int_sqrt_ceil(t));
+    auto add = [&](Scenario s) {
+      s.params["bound_work_3n"] = 3 * n;
+      s.params["bound_msgs"] = static_cast<std::int64_t>(msg_factor * u(t) * s_);
+      s.params["bound_rounds"] =
+          linear_time_bound ? 3 * n + 8 * t : n * t + 3 * static_cast<std::int64_t>(t) * t;
+      out.push_back(std::move(s));
+    };
+    for (std::int64_t units : {std::int64_t{1}, ceil_div(n, t), ceil_div(n, int_sqrt_ceil(t))}) {
+      for (std::size_t prefix : {std::size_t{0}, std::size_t{1}})
+        add(sync_scenario(group, proto, n, t, FaultSpec::cascade(u(units), t - 1, prefix)));
+    }
+    add(sync_scenario(group, proto, n, t, FaultSpec::random(0.05, t - 1, 0), /*reps=*/8));
+  }
+  return out;
+}
+
+// --- T4: Protocol C --------------------------------------------------------
+
+std::vector<Scenario> protocol_c_scenarios() {
+  std::vector<Scenario> out;
+  for (int t : {4, 8, 16, 32, 64}) {
+    const std::int64_t n = 4 * t;
+    for (const char* proto : {"C", "C_batch"}) {
+      const std::string group = "t=" + std::to_string(t) + "/" + proto;
+      const std::int64_t T = pow2_ceil(t);
+      const std::int64_t L = std::max(1, log2_of_pow2(pow2_ceil(t)));
+      auto add = [&](Scenario s) {
+        s.params["bound_work_n_2t"] = n + 2 * t;
+        s.params["bound_msgs_n_8TlogT"] = n + 8 * T * L;
+        out.push_back(std::move(s));
+      };
+      add(sync_scenario(group, proto, n, t, FaultSpec::none()));
+      add(sync_scenario(group, proto, n, t, FaultSpec::cascade(1, t - 1, 0)));
+      add(sync_scenario(group, proto, n, t, FaultSpec::cascade(u(ceil_div(n, t)), t - 1, 1)));
+      add(sync_scenario(group, proto, n, t, FaultSpec::random(0.05, t - 1, 0), /*reps=*/4));
+    }
+  }
+  return out;
+}
+
+// --- T5 / F4 / T5b / T10: Protocol D family ---------------------------------
+
+std::vector<Scenario> protocol_d_scenarios() {
+  std::vector<Scenario> out;
+  // T5: graceful degradation with f scheduled crashes (case 1).
+  for (int t : {4, 8, 16, 32}) {
+    const std::int64_t n = 32 * t;
+    for (int f : std::set<int>{0, 1, t / 4, t / 2}) {
+      std::vector<ScheduledFaults::Entry> entries;
+      for (int p = 0; p < f; ++p)
+        entries.push_back({p, u(1 + 2 * p), CrashPlan{true, 0}});
+      Scenario s = sync_scenario("T5/t=" + std::to_string(t) + "/f=" + std::to_string(f), "D",
+                                 n, t, FaultSpec::scheduled(std::move(entries)));
+      s.params["bound_work_2n"] = 2 * n;
+      s.params["bound_msgs"] = (4 * static_cast<std::int64_t>(f) + 2) * t * t;
+      s.params["bound_rounds"] = (f + 1) * (n / t) + 4 * f + 2;
+      out.push_back(std::move(s));
+    }
+  }
+  // F4: rounds vs f at fixed shape (n=4096, t=16).
+  for (int f = 0; f <= 15; ++f) {
+    std::vector<ScheduledFaults::Entry> entries;
+    for (int p = 0; p < f; ++p) entries.push_back({p, u(3 + 5 * p), CrashPlan{true, 0}});
+    Scenario s = sync_scenario("F4/f=" + std::to_string(f), "D", 4096, 16,
+                               FaultSpec::scheduled(std::move(entries)));
+    s.params["bound_rounds"] = (f + 1) * 256 + 4 * f + 2;
+    out.push_back(std::move(s));
+  }
+  // T5b: majority loss in phase 1 reverts to Protocol A (case 2).
+  for (int t : {8, 16, 32}) {
+    const std::int64_t n = 16 * t;
+    const int kill = t / 2 + 1;
+    std::vector<ScheduledFaults::Entry> entries;
+    for (int p = 0; p < kill; ++p) entries.push_back({p, 2, CrashPlan{true, 0}});
+    Scenario s = sync_scenario("T5b/t=" + std::to_string(t), "D", n, t,
+                               FaultSpec::scheduled(std::move(entries)));
+    s.params["bound_work_4n"] = 4 * n;
+    out.push_back(std::move(s));
+  }
+  // T10: coordinator agreement variant, failure-free and coordinator-dies.
+  for (int t : {8, 16, 32}) {
+    const std::int64_t n = 16 * t;
+    for (const char* proto : {"D", "D_coord"}) {
+      out.push_back(sync_scenario("T10/t=" + std::to_string(t) + "/ff/" + proto, proto, n, t,
+                                  FaultSpec::none()));
+      out.push_back(sync_scenario(
+          "T10/t=" + std::to_string(t) + "/coord_dies/" + proto, proto, n, t,
+          FaultSpec::scheduled({{0, u(n / t + 1), CrashPlan{false, 2}}})));
+    }
+  }
+  return out;
+}
+
+// --- F5: rounds-to-completion, A vs B --------------------------------------
+
+std::vector<Scenario> time_a_vs_b_scenarios() {
+  std::vector<Scenario> out;
+  for (int t : {4, 16, 36, 64, 100, 144}) {
+    const std::int64_t n = 64 * t;
+    for (const char* proto : {"A", "B"}) {
+      Scenario s = sync_scenario("t=" + std::to_string(t) + "/" + proto, proto, n, t,
+                                 FaultSpec::cascade(1, t - 1, 0));
+      s.params["bound_rounds"] = std::string(proto) == "A"
+                                     ? n * t + 3 * static_cast<std::int64_t>(t) * t
+                                     : 3 * n + 8 * t;
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+// --- F2: effort landscape across all protocols ------------------------------
+
+std::vector<Scenario> effort_comparison_scenarios() {
+  std::vector<Scenario> out;
+  for (int t : {8, 16, 32, 64}) {
+    const std::int64_t n = 4 * t;  // keeps n + t within Protocol C's 512-bit budget
+    for (const char* proto :
+         {"baseline_all", "baseline_checkpoint", "A", "B", "C", "C_batch", "D"}) {
+      FaultSpec faults;
+      if (std::string(proto) == "baseline_all")
+        faults = FaultSpec::none();  // its worst case is failure-free
+      else if (std::string(proto) == "D")
+        faults = FaultSpec::cascade(2, std::max(1, t / 2 - 1), 0);
+      else
+        faults = chunk_cascade(n, t);
+      out.push_back(
+          sync_scenario("t=" + std::to_string(t) + "/" + proto, proto, n, t, faults));
+    }
+  }
+  return out;
+}
+
+// --- F3: naive most-knowledgeable takeover vs Protocol C --------------------
+
+std::vector<Scenario> ablation_naive_c_scenarios() {
+  std::vector<Scenario> out;
+  for (int t : {8, 16, 32, 64}) {
+    const std::int64_t n = t - 1;  // the paper's scenario shape
+    for (const char* proto : {"naive_C", "C"}) {
+      Scenario s = sync_scenario("t=" + std::to_string(t) + "/" + proto, proto, n, t,
+                                 FaultSpec::on_unit(n, t - 1));
+      s.params["bound_work_n_2t"] = n + 2 * t;
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+// --- T6: Byzantine agreement over the work protocols ------------------------
+
+std::vector<Scenario> byzantine_scenarios() {
+  std::vector<Scenario> out;
+  struct Shape {
+    int n, t;
+  };
+  for (Shape sh : {Shape{64, 8}, Shape{144, 12}, Shape{256, 16}, Shape{128, 32}}) {
+    for (const char* proto : {"A", "B", "C"}) {
+      const std::string group =
+          "n=" + std::to_string(sh.n) + "/t=" + std::to_string(sh.t) + "/" + proto;
+      // Message bounds from the deleted bench: senders = t+1 run the work
+      // protocol, so the A/B bound is n + O(senders^1.5) and the C bound is
+      // n + O(T log T) over the padded sender count.
+      const std::int64_t senders = sh.t + 1;
+      const std::int64_t sq = int_sqrt_ceil(sh.t + 1);
+      const std::int64_t T = pow2_ceil(sh.t + 1);
+      const std::int64_t L = log2_of_pow2(T);
+      const std::int64_t bound_msgs = std::string("C") == proto
+                                          ? sh.n + 8 * T * L + 4 * T + senders
+                                          : sh.n + 10 * senders * sq + 10 * sq * sq + senders;
+      auto add = [&](FaultSpec faults, int reps = 1) {
+        Scenario s;
+        s.group = group;
+        s.substrate = Substrate::kByzantine;
+        s.protocol = proto;
+        s.cfg = DoAllConfig{sh.n, sh.t};
+        s.faults = std::move(faults);
+        s.repetitions = reps;
+        s.params["value"] = 5;
+        s.params["bound_msgs"] = bound_msgs;
+        s.id = group + "/" + s.faults.to_string();
+        out.push_back(std::move(s));
+      };
+      add(FaultSpec::none());
+      add(FaultSpec::scheduled({{0, 1, CrashPlan{false, static_cast<std::size_t>(sh.t / 2)}}}));
+      add(FaultSpec::cascade(2, sh.t, 1));
+      add(FaultSpec::random(0.03, sh.t, 0), /*reps=*/4);
+    }
+  }
+  return out;
+}
+
+// --- T7: asynchronous Protocol A -------------------------------------------
+
+std::vector<Scenario> async_scenarios() {
+  std::vector<Scenario> out;
+  const std::int64_t n = 256;
+  const int t = 16;
+  for (std::int64_t delay : {2, 10, 50}) {
+    for (std::int64_t fd : {5, 25, 100}) {
+      Scenario s;
+      s.group = "delay=" + std::to_string(delay) + "/fd=" + std::to_string(fd);
+      s.id = s.group;
+      s.substrate = Substrate::kAsync;
+      s.protocol = "A_async";
+      s.cfg = DoAllConfig{n, t};
+      s.seed = u(delay * 1000 + fd);
+      s.params["max_delay"] = delay;
+      s.params["fd_delay"] = fd;
+      s.params["crashes"] = t - 1;
+      s.params["crash_after"] = ceil_div(n, t) + 3;
+      s.params["bound_work_3n"] = 3 * n;
+      s.params["bound_msgs_9tsqrt"] = 9 * t * int_sqrt_ceil(t);
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+// --- T9: dynamic workload --------------------------------------------------
+
+std::vector<Scenario> dynamic_scenarios() {
+  std::vector<Scenario> out;
+  for (int t : {4, 8, 16}) {
+    for (int crashes : {0, t / 4, t / 2}) {
+      Scenario s;
+      s.group = "t=" + std::to_string(t) + "/crashes=" + std::to_string(crashes);
+      s.id = s.group;
+      s.substrate = Substrate::kDynamic;
+      s.protocol = "D_dynamic";
+      s.cfg = DoAllConfig{/*n=*/1, t};  // workload shape comes from params
+      s.faults = crashes == 0 ? FaultSpec::none() : FaultSpec::cascade(6, crashes, 0);
+      s.params["batches"] = 6;
+      s.params["per_batch"] = 4 * t;
+      s.params["gap"] = 25;
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+// --- T8 / F6: related models (APS contrast, shared memory) ------------------
+
+std::vector<Scenario> related_models_scenarios() {
+  std::vector<Scenario> out;
+  // T8: effort vs available processor steps for the message-passing protocols
+  // (the APS column rides in each row's extras).
+  for (int t : {8, 16, 32}) {
+    const std::int64_t n = 4 * t;
+    for (const char* proto : {"A", "B", "C", "D"}) {
+      FaultSpec faults = std::string(proto) == "D"
+                             ? FaultSpec::cascade(2, std::max(1, t / 2 - 1), 0)
+                             : chunk_cascade(n, t);
+      out.push_back(
+          sync_scenario("T8/t=" + std::to_string(t) + "/" + proto, proto, n, t, faults));
+    }
+  }
+  // F6: the shared-memory progress-counter algorithm on the same shapes.
+  for (int t : {8, 16, 32, 64}) {
+    const std::int64_t n = 4 * t;
+    Scenario s;
+    s.group = "F6/t=" + std::to_string(t) + "/write_all";
+    s.id = s.group;
+    s.substrate = Substrate::kSharedMem;
+    s.protocol = "write_all";
+    s.cfg = DoAllConfig{n, t};
+    s.params["crashes"] = t - 1;
+    s.params["bound_effort_2n_3t"] = 2 * n + 3 * t;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+// --- smoke: one quick scenario per substrate, for CI artifacts --------------
+
+std::vector<Scenario> smoke_scenarios() {
+  std::vector<Scenario> out;
+  const std::int64_t n = 64;
+  const int t = 8;
+  for (const char* proto : {"baseline_all", "baseline_checkpoint", "A", "B", "C", "D"}) {
+    out.push_back(sync_scenario(std::string("sync/") + proto, proto, n, t,
+                                std::string(proto) == "baseline_all"
+                                    ? FaultSpec::none()
+                                    : FaultSpec::cascade(2, t / 2, 1)));
+  }
+  {
+    Scenario s;
+    s.group = "byzantine/B";
+    s.id = s.group;
+    s.substrate = Substrate::kByzantine;
+    s.protocol = "B";
+    s.cfg = DoAllConfig{16, 4};
+    s.faults = FaultSpec::cascade(2, 4, 1);
+    out.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.group = "async/A";
+    s.id = s.group;
+    s.substrate = Substrate::kAsync;
+    s.protocol = "A_async";
+    s.cfg = DoAllConfig{n, t};
+    s.seed = 7;
+    s.params["max_delay"] = 5;
+    s.params["fd_delay"] = 10;
+    s.params["crashes"] = t / 2;
+    out.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.group = "sharedmem/write_all";
+    s.id = s.group;
+    s.substrate = Substrate::kSharedMem;
+    s.protocol = "write_all";
+    s.cfg = DoAllConfig{n, t};
+    s.params["crashes"] = t - 1;
+    out.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.group = "dynamic/D";
+    s.id = s.group;
+    s.substrate = Substrate::kDynamic;
+    s.protocol = "D_dynamic";
+    s.cfg = DoAllConfig{1, 4};
+    s.faults = FaultSpec::cascade(6, 2, 0);
+    s.params["batches"] = 3;
+    s.params["per_batch"] = 8;
+    s.params["gap"] = 25;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<ExperimentInfo>& all_experiments() {
+  static const std::vector<ExperimentInfo> kExperiments = {
+      {"smoke", "CI smoke suite",
+       "One quick scenario per protocol and substrate; the CI artifact.",
+       smoke_scenarios},
+      {"baselines", "T1 (Section 1)",
+       "Both trivial baselines cost O(tn) effort; Protocol A achieves 3n work + "
+       "9t*sqrt(t) messages.",
+       baselines_scenarios},
+      {"checkpoint_sweep", "F1 (Section 2 introduction)",
+       "Checkpoint every n/k units => ~n*t/k redone work and ~t*k messages; the effort "
+       "curve has an interior minimum between k=sqrt(t) and k=t, motivating Protocol A's "
+       "two-level scheme.",
+       checkpoint_sweep_scenarios},
+      {"protocol_a", "T2 (Theorem 2.3)",
+       "Protocol A: work <= 3n, messages <= 9t*sqrt(t), all retired by round nt + 3t^2; "
+       "worst over cascade variants and 8 random schedules.",
+       [] { return protocol_bounds_scenarios("A", 9, false); }},
+      {"protocol_b", "T3 (Theorem 2.8)",
+       "Protocol B keeps work <= 3n and messages <= 10t*sqrt(t) while retiring everyone "
+       "by round 3n + 8t.",
+       [] { return protocol_bounds_scenarios("B", 10, true); }},
+      {"protocol_c", "T4 (Theorem 3.8, Corollary 3.9)",
+       "Protocol C: work <= n + 2t, messages <= n + 8t log t (C_batch drops the n term); "
+       "time exponential in n + t, simulated exactly via 512-bit fast-forward.",
+       protocol_c_scenarios},
+      {"protocol_d", "T5/F4/T5b/T10 (Theorem 4.1, Section 4)",
+       "Protocol D: failure-free n/t + 2 rounds and 2t^2 messages; f failures cost work "
+       "<= 2n, messages <= (4f+2)t^2, rounds <= (f+1)n/t + 4f + 2; majority loss reverts "
+       "to Protocol A; the coordinator variant cuts failure-free messages to 2(t-1).",
+       protocol_d_scenarios},
+      {"time_a_vs_b", "F5 (Theorems 2.3c vs 2.8c)",
+       "Protocol A's deadline cascade costs Theta(nt + t^2) rounds; Protocol B's "
+       "message-relative timeouts bring it to 3n + 8t.",
+       time_a_vs_b_scenarios},
+      {"effort_comparison", "F2 (Sections 1 and 6)",
+       "The protocol landscape under one cascade: baselines O(tn) effort, A/B 3n + "
+       "O(t^1.5), C O(n + t log t), D trades t^2 messages for optimal time.",
+       effort_comparison_scenarios},
+      {"ablation_naive_c", "F3 (Section 3 introduction)",
+       "Without fault detection the most-knowledgeable-takeover scheme pays Theta(n + "
+       "t^2) work; Protocol C's pointer-guided polling stays at n + 2t.",
+       ablation_naive_c_scenarios},
+      {"byzantine", "T6 (Section 5)",
+       "Byzantine agreement for crash faults via the work protocols: via A/B O(n + "
+       "t*sqrt(t)) messages at O(n) rounds, via C O(n + t log t) messages at exponential "
+       "time; agreement and validity under every crash schedule.",
+       byzantine_scenarios},
+      {"async", "T7 (Section 2.1 remark)",
+       "With a sound and complete failure detector Protocol A runs fully asynchronously: "
+       "work and messages keep the synchronous bounds, only completion time follows the "
+       "delays.",
+       async_scenarios},
+      {"dynamic", "T9 (Sections 1 and 4)",
+       "The dynamic extension of Protocol D absorbs work arriving over time at individual "
+       "sites; announced work is never lost, never-gossiped arrivals die with their site.",
+       dynamic_scenarios},
+      {"related_models", "T8/F6 (Section 1.1)",
+       "Effort vs available-processor-steps (Protocol C: effort-optimal, APS-astronomical) "
+       "and the shared-memory progress counter whose effort hugs 2n + O(t).",
+       related_models_scenarios},
+  };
+  return kExperiments;
+}
+
+const ExperimentInfo* find_experiment(const std::string& name) {
+  for (const ExperimentInfo& e : all_experiments())
+    if (e.name == name) return &e;
+  return nullptr;
+}
+
+}  // namespace dowork::harness

@@ -1,0 +1,29 @@
+// Named experiment families: every per-figure benchmark binary's sweep,
+// re-expressed as data.  Each experiment expands to a vector of Scenarios
+// (see DESIGN.md for the experiment -> paper table/figure map); the unified
+// dowork_bench CLI and the thin per-experiment wrappers both run them
+// through the ParallelScenarioRunner.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/scenario.h"
+
+namespace dowork::harness {
+
+struct ExperimentInfo {
+  std::string name;   // CLI name: dowork_bench --experiment <name>
+  std::string title;  // paper table/figure reference
+  std::string claim;  // the paper claim the experiment checks
+  std::function<std::vector<Scenario>()> scenarios;
+};
+
+// All registered experiments, in presentation order.
+const std::vector<ExperimentInfo>& all_experiments();
+
+// Lookup by name; nullptr when unknown.
+const ExperimentInfo* find_experiment(const std::string& name);
+
+}  // namespace dowork::harness

@@ -1,0 +1,227 @@
+#include "harness/fault_spec.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace dowork::harness {
+
+namespace {
+
+std::string prefix_str(std::size_t prefix) {
+  return prefix == SIZE_MAX ? "all" : std::to_string(prefix);
+}
+
+std::size_t parse_prefix(const std::string& s) {
+  if (s == "all") return SIZE_MAX;
+  return static_cast<std::size_t>(std::stoull(s));
+}
+
+// Shortest decimal form of p that parses back to the identical double.
+std::string double_str(double v) {
+  char buf[64];
+  for (int prec = 6; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+// Splits "key=value,key=value,..." content; throws on malformed input.
+std::vector<std::pair<std::string, std::string>> split_kv(const std::string& body) {
+  std::vector<std::pair<std::string, std::string>> out;
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    std::size_t comma = body.find(',', pos);
+    if (comma == std::string::npos) comma = body.size();
+    const std::string item = body.substr(pos, comma - pos);
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos)
+      throw std::invalid_argument("FaultSpec: malformed field '" + item + "'");
+    out.emplace_back(item.substr(0, eq), item.substr(eq + 1));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::string find_kv(const std::vector<std::pair<std::string, std::string>>& kvs,
+                    const std::string& key) {
+  for (const auto& [k, v] : kvs)
+    if (k == key) return v;
+  throw std::invalid_argument("FaultSpec: missing field '" + key + "'");
+}
+
+}  // namespace
+
+std::unique_ptr<FaultInjector> FaultSpec::make(std::uint64_t rep) const {
+  switch (kind) {
+    case Kind::kNone:
+      return std::make_unique<NoFaults>();
+    case Kind::kCascade:
+      return std::make_unique<WorkCascadeFaults>(units_before_crash, max_crashes,
+                                                 deliver_prefix, crash_completes_unit);
+    case Kind::kOnUnit:
+      return std::make_unique<CrashOnUnitFaults>(unit, max_crashes, deliver_prefix);
+    case Kind::kRandom:
+      return std::make_unique<RandomFaults>(p, max_crashes, seed + rep);
+    case Kind::kScheduled:
+      return std::make_unique<ScheduledFaults>(entries);
+  }
+  throw std::logic_error("FaultSpec: bad kind");
+}
+
+std::string FaultSpec::to_string() const {
+  char buf[160];
+  switch (kind) {
+    case Kind::kNone:
+      return "none";
+    case Kind::kCascade:
+      std::snprintf(buf, sizeof buf, "cascade(units=%" PRIu64 ",crashes=%d,prefix=%s,completes=%d)",
+                    units_before_crash, max_crashes, prefix_str(deliver_prefix).c_str(),
+                    crash_completes_unit ? 1 : 0);
+      return buf;
+    case Kind::kOnUnit:
+      std::snprintf(buf, sizeof buf, "on_unit(unit=%lld,crashes=%d,prefix=%s)",
+                    static_cast<long long>(unit), max_crashes,
+                    prefix_str(deliver_prefix).c_str());
+      return buf;
+    case Kind::kRandom:
+      std::snprintf(buf, sizeof buf, "random(p=%s,crashes=%d,seed=%" PRIu64 ")",
+                    double_str(p).c_str(), max_crashes, seed);
+      return buf;
+    case Kind::kScheduled: {
+      std::string out = "scheduled(";
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        const ScheduledFaults::Entry& e = entries[i];
+        if (i) out += ';';
+        out += std::to_string(e.proc) + "@" + std::to_string(e.on_nth_action) + ":" +
+               (e.plan.work_completes ? "1" : "0") + ":" + prefix_str(e.plan.deliver_prefix);
+      }
+      return out + ")";
+    }
+  }
+  throw std::logic_error("FaultSpec: bad kind");
+}
+
+FaultSpec FaultSpec::parse(const std::string& text) {
+  if (text == "none") return FaultSpec{};
+  const std::size_t open = text.find('(');
+  if (open == std::string::npos || text.back() != ')')
+    throw std::invalid_argument("FaultSpec: malformed '" + text + "'");
+  const std::string name = text.substr(0, open);
+  const std::string body = text.substr(open + 1, text.size() - open - 2);
+
+  FaultSpec spec;
+  if (name == "cascade") {
+    const auto kvs = split_kv(body);
+    spec.kind = Kind::kCascade;
+    spec.units_before_crash = std::stoull(find_kv(kvs, "units"));
+    spec.max_crashes = std::stoi(find_kv(kvs, "crashes"));
+    spec.deliver_prefix = parse_prefix(find_kv(kvs, "prefix"));
+    spec.crash_completes_unit = find_kv(kvs, "completes") == "1";
+  } else if (name == "on_unit") {
+    const auto kvs = split_kv(body);
+    spec.kind = Kind::kOnUnit;
+    spec.unit = std::stoll(find_kv(kvs, "unit"));
+    spec.max_crashes = std::stoi(find_kv(kvs, "crashes"));
+    spec.deliver_prefix = parse_prefix(find_kv(kvs, "prefix"));
+  } else if (name == "random") {
+    const auto kvs = split_kv(body);
+    spec.kind = Kind::kRandom;
+    spec.p = std::strtod(find_kv(kvs, "p").c_str(), nullptr);
+    spec.max_crashes = std::stoi(find_kv(kvs, "crashes"));
+    spec.seed = std::stoull(find_kv(kvs, "seed"));
+  } else if (name == "scheduled") {
+    spec.kind = Kind::kScheduled;
+    std::size_t pos = 0;
+    while (pos < body.size()) {
+      std::size_t semi = body.find(';', pos);
+      if (semi == std::string::npos) semi = body.size();
+      const std::string item = body.substr(pos, semi - pos);
+      const std::size_t at = item.find('@');
+      const std::size_t c1 = item.find(':', at);
+      const std::size_t c2 = item.find(':', c1 + 1);
+      if (at == std::string::npos || c1 == std::string::npos || c2 == std::string::npos)
+        throw std::invalid_argument("FaultSpec: malformed schedule entry '" + item + "'");
+      ScheduledFaults::Entry e;
+      e.proc = std::stoi(item.substr(0, at));
+      e.on_nth_action = std::stoull(item.substr(at + 1, c1 - at - 1));
+      e.plan.work_completes = item.substr(c1 + 1, c2 - c1 - 1) == "1";
+      e.plan.deliver_prefix = parse_prefix(item.substr(c2 + 1));
+      spec.entries.push_back(e);
+      pos = semi + 1;
+    }
+  } else {
+    throw std::invalid_argument("FaultSpec: unknown adversary '" + name + "'");
+  }
+  return spec;
+}
+
+bool operator==(const FaultSpec& a, const FaultSpec& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case FaultSpec::Kind::kNone:
+      return true;
+    case FaultSpec::Kind::kCascade:
+      return a.units_before_crash == b.units_before_crash && a.max_crashes == b.max_crashes &&
+             a.deliver_prefix == b.deliver_prefix &&
+             a.crash_completes_unit == b.crash_completes_unit;
+    case FaultSpec::Kind::kOnUnit:
+      return a.unit == b.unit && a.max_crashes == b.max_crashes &&
+             a.deliver_prefix == b.deliver_prefix;
+    case FaultSpec::Kind::kRandom:
+      return a.p == b.p && a.max_crashes == b.max_crashes && a.seed == b.seed;
+    case FaultSpec::Kind::kScheduled:
+      if (a.entries.size() != b.entries.size()) return false;
+      for (std::size_t i = 0; i < a.entries.size(); ++i) {
+        const ScheduledFaults::Entry &x = a.entries[i], &y = b.entries[i];
+        if (x.proc != y.proc || x.on_nth_action != y.on_nth_action ||
+            x.plan.work_completes != y.plan.work_completes ||
+            x.plan.deliver_prefix != y.plan.deliver_prefix)
+          return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+FaultSpec FaultSpec::none() { return FaultSpec{}; }
+
+FaultSpec FaultSpec::cascade(std::uint64_t units, int crashes, std::size_t prefix,
+                             bool completes) {
+  FaultSpec s;
+  s.kind = Kind::kCascade;
+  s.units_before_crash = units;
+  s.max_crashes = crashes;
+  s.deliver_prefix = prefix;
+  s.crash_completes_unit = completes;
+  return s;
+}
+
+FaultSpec FaultSpec::on_unit(std::int64_t unit, int crashes, std::size_t prefix) {
+  FaultSpec s;
+  s.kind = Kind::kOnUnit;
+  s.unit = unit;
+  s.max_crashes = crashes;
+  s.deliver_prefix = prefix;
+  return s;
+}
+
+FaultSpec FaultSpec::random(double p, int crashes, std::uint64_t seed) {
+  FaultSpec s;
+  s.kind = Kind::kRandom;
+  s.p = p;
+  s.max_crashes = crashes;
+  s.seed = seed;
+  return s;
+}
+
+FaultSpec FaultSpec::scheduled(std::vector<ScheduledFaults::Entry> entries) {
+  FaultSpec s;
+  s.kind = Kind::kScheduled;
+  s.entries = std::move(entries);
+  return s;
+}
+
+}  // namespace dowork::harness

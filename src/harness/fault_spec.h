@@ -1,0 +1,62 @@
+// Declarative fault-injector specification.
+//
+// A Scenario must be a value (copyable, comparable, printable) so that sweeps
+// can be generated up front, fanned out across threads, and logged; but a
+// FaultInjector is stateful and single-run.  FaultSpec is the bridge: it
+// names one of the simulator's adversaries plus its knobs, builds a fresh
+// injector per run via make(), and round-trips through to_string()/parse()
+// so scenario ids and JSON rows identify the exact adversary.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/fault_injector.h"
+
+namespace dowork::harness {
+
+struct FaultSpec {
+  enum class Kind : std::uint8_t { kNone, kCascade, kOnUnit, kRandom, kScheduled };
+
+  Kind kind = Kind::kNone;
+
+  // kCascade: WorkCascadeFaults(units_before_crash, max_crashes,
+  // deliver_prefix, crash_completes_unit).
+  std::uint64_t units_before_crash = 1;
+  // kCascade / kOnUnit / kRandom: crash budget.
+  int max_crashes = 0;
+  // kCascade / kOnUnit: broadcast truncation on crash (SIZE_MAX = all).
+  std::size_t deliver_prefix = 0;
+  bool crash_completes_unit = true;
+  // kOnUnit: CrashOnUnitFaults(unit, ...).
+  std::int64_t unit = 0;
+  // kRandom: RandomFaults(p, max_crashes, seed + rep).
+  double p = 0.0;
+  std::uint64_t seed = 0;
+  // kScheduled: ScheduledFaults(entries).
+  std::vector<ScheduledFaults::Entry> entries;
+
+  // Fresh injector for one run.  `rep` perturbs the random adversary's seed
+  // so repetitions explore different schedules; the deterministic adversaries
+  // ignore it.
+  std::unique_ptr<FaultInjector> make(std::uint64_t rep = 0) const;
+
+  // Compact single-line form, e.g. "cascade(units=1,crashes=15,prefix=0,
+  // completes=1)".  parse() accepts exactly what to_string() emits and throws
+  // std::invalid_argument otherwise.
+  std::string to_string() const;
+  static FaultSpec parse(const std::string& text);
+
+  friend bool operator==(const FaultSpec& a, const FaultSpec& b);
+
+  // Convenience constructors for the scenario generators.
+  static FaultSpec none();
+  static FaultSpec cascade(std::uint64_t units, int crashes, std::size_t prefix = 0,
+                           bool completes = true);
+  static FaultSpec on_unit(std::int64_t unit, int crashes, std::size_t prefix = 0);
+  static FaultSpec random(double p, int crashes, std::uint64_t seed);
+  static FaultSpec scheduled(std::vector<ScheduledFaults::Entry> entries);
+};
+
+}  // namespace dowork::harness

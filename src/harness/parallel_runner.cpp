@@ -1,0 +1,52 @@
+#include "harness/parallel_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+namespace dowork::harness {
+
+ParallelScenarioRunner::ParallelScenarioRunner(int jobs) : jobs_(jobs) {
+  if (jobs_ <= 0) jobs_ = static_cast<int>(std::thread::hardware_concurrency());
+  if (jobs_ <= 0) jobs_ = 1;
+}
+
+std::vector<ScenarioResult> ParallelScenarioRunner::run(
+    const std::string& experiment, const std::vector<Scenario>& scenarios) const {
+  std::vector<std::vector<ScenarioResult>> per_scenario(scenarios.size());
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex progress_mutex;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= scenarios.size()) return;
+      per_scenario[i] = run_scenario(experiment, scenarios[i]);
+      const std::size_t finished = done.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (progress_) {
+        std::lock_guard<std::mutex> lock(progress_mutex);
+        progress_(finished, scenarios.size());
+      }
+    }
+  };
+
+  const int workers = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(jobs_), scenarios.size()));
+  if (workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i) threads.emplace_back(worker);
+    for (std::thread& th : threads) th.join();
+  }
+
+  std::vector<ScenarioResult> rows;
+  for (std::vector<ScenarioResult>& part : per_scenario)
+    for (ScenarioResult& row : part) rows.push_back(std::move(row));
+  return rows;
+}
+
+}  // namespace dowork::harness

@@ -1,0 +1,43 @@
+// Thread-pool fan-out over independent scenarios.
+//
+// Simulated executions share no state (each builds its own processes, fault
+// injector and RNG), so a sweep is embarrassingly parallel.  The runner
+// hands scenario INDICES to worker threads through an atomic cursor and
+// writes each result into its input slot, so the output order -- and
+// therefore every aggregate and JSON byte produced from it -- is the input
+// order, independent of thread count and completion interleaving.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "harness/scenario.h"
+
+namespace dowork::harness {
+
+class ParallelScenarioRunner {
+ public:
+  // jobs <= 0 selects std::thread::hardware_concurrency().
+  explicit ParallelScenarioRunner(int jobs = 0);
+
+  int jobs() const { return jobs_; }
+
+  // Optional progress hook, called after each scenario completes (from
+  // worker threads, serialized by the runner).
+  using Progress = std::function<void(std::size_t done, std::size_t total)>;
+  void set_progress(Progress progress) { progress_ = std::move(progress); }
+
+  // Runs every scenario (all repetitions) and returns the flattened rows in
+  // scenario order.  Exceptions inside a scenario become ok=false rows
+  // (run_scenario already guarantees this); exceptions in the harness
+  // itself propagate.
+  std::vector<ScenarioResult> run(const std::string& experiment,
+                                  const std::vector<Scenario>& scenarios) const;
+
+ private:
+  int jobs_;
+  Progress progress_;
+};
+
+}  // namespace dowork::harness

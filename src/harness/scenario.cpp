@@ -1,0 +1,189 @@
+#include "harness/scenario.h"
+
+#include <exception>
+
+#include "agreement/byzantine.h"
+#include "async/protocol_a_async.h"
+#include "core/runner.h"
+#include "dynamic/dynamic_d.h"
+#include "sharedmem/write_all.h"
+#include "util/strings.h"
+
+namespace dowork::harness {
+
+const char* to_string(Substrate s) {
+  switch (s) {
+    case Substrate::kSync: return "sync";
+    case Substrate::kByzantine: return "byzantine";
+    case Substrate::kAsync: return "async";
+    case Substrate::kSharedMem: return "sharedmem";
+    case Substrate::kDynamic: return "dynamic";
+  }
+  return "?";
+}
+
+std::string format_round(const Round& r) {
+  if (r.fits_u64()) return std::to_string(r.to_u64_saturating());
+  return "~2^" + std::to_string(r.log2_floor());
+}
+
+namespace {
+
+void fill_sync_metrics(const RunMetrics& m, ScenarioResult& row) {
+  row.work = m.work_total;
+  row.messages = m.messages_total;
+  row.effort = m.effort();
+  row.crashes = m.crashes;
+  row.last_round = m.last_retire_round;
+  row.rounds = format_round(m.last_retire_round);
+  row.extra.emplace_back("aps", format_round(m.available_processor_steps));
+  if (m.messages_of(MsgKind::kGoAhead))
+    row.extra.emplace_back("goaheads", std::to_string(m.messages_of(MsgKind::kGoAhead)));
+  if (m.messages_of(MsgKind::kPoll))
+    row.extra.emplace_back("polls", std::to_string(m.messages_of(MsgKind::kPoll)));
+}
+
+void run_one_rep(const Scenario& s, int rep, ScenarioResult& row) {
+  switch (s.substrate) {
+    case Substrate::kSync: {
+      RunOptions opts;
+      if (auto it = s.params.find("protocol_param"); it != s.params.end())
+        opts.protocol_param = it->second;
+      RunResult r = run_do_all(s.protocol, s.cfg, s.faults.make(static_cast<std::uint64_t>(rep)),
+                               opts);
+      fill_sync_metrics(r.metrics, row);
+      row.ok = r.ok();
+      row.violation = r.violation;
+      return;
+    }
+    case Substrate::kByzantine: {
+      ByzantineConfig cfg;
+      cfg.n_procs = static_cast<int>(s.cfg.n);
+      cfg.t_faults = s.cfg.t;
+      cfg.value = s.param_or("value", 5);
+      cfg.protocol = s.protocol;
+      ByzantineResult r = run_byzantine(cfg, s.faults.make(static_cast<std::uint64_t>(rep)));
+      fill_sync_metrics(r.metrics, row);
+      row.ok = r.agreement && r.validity;
+      if (!row.ok) row.violation = "byzantine agreement/validity violated";
+      row.extra.emplace_back("agreement", r.agreement ? "yes" : "NO");
+      row.extra.emplace_back("validity", r.validity ? "yes" : "NO");
+      row.extra.emplace_back("general_crashed", r.general_crashed ? "yes" : "no");
+      return;
+    }
+    case Substrate::kAsync: {
+      AsyncSim::Options opts;
+      opts.min_delay = static_cast<ATime>(s.param_or("min_delay", 1));
+      opts.max_delay = static_cast<ATime>(s.param_or("max_delay", 10));
+      opts.fd_max_delay = static_cast<ATime>(s.param_or("fd_delay", 30));
+      opts.seed = s.seed + static_cast<std::uint64_t>(rep);
+      const std::int64_t crash_count = s.param_or("crashes", s.cfg.t - 1);
+      const std::int64_t after =
+          s.param_or("crash_after", ceil_div(s.cfg.n, s.cfg.t) + 3);
+      std::vector<std::optional<AsyncSim::CrashSpec>> crashes(
+          static_cast<std::size_t>(s.cfg.t));
+      for (std::int64_t p = 0; p < crash_count; ++p)
+        crashes[static_cast<std::size_t>(p)] =
+            AsyncSim::CrashSpec{static_cast<std::uint64_t>(after), 2, true};
+      AsyncMetrics m = run_async_protocol_a(s.cfg, opts, std::move(crashes));
+      row.work = m.work_total;
+      row.messages = m.messages_total;
+      row.effort = m.work_total + m.messages_total;
+      row.crashes = m.crashes;
+      row.last_round = Round{m.end_time};
+      row.rounds = std::to_string(m.end_time);
+      row.ok = m.all_retired && m.all_units_done();
+      if (!row.ok) row.violation = "async run incomplete";
+      row.extra.emplace_back("fd_notices", std::to_string(m.fd_notices));
+      return;
+    }
+    case Substrate::kSharedMem: {
+      const std::int64_t crash_count = s.param_or("crashes", s.cfg.t - 1);
+      const std::int64_t on_op =
+          s.param_or("crash_on_op", 2 * ceil_div(s.cfg.n, s.cfg.t) + 3);
+      std::vector<std::optional<SharedMemSim::CrashSpec>> crashes(
+          static_cast<std::size_t>(s.cfg.t));
+      for (std::int64_t p = 0; p < crash_count; ++p)
+        crashes[static_cast<std::size_t>(p)] =
+            SharedMemSim::CrashSpec{static_cast<std::uint64_t>(on_op), true};
+      SharedMetrics m = run_write_all(s.cfg, std::move(crashes));
+      row.work = m.work_total;
+      row.messages = m.reads + m.writes;  // memory ops play the message role
+      row.effort = m.effort();
+      row.crashes = m.crashes;
+      row.last_round = Round{m.last_round};
+      row.rounds = std::to_string(m.last_round);
+      row.ok = m.all_retired && m.all_units_done();
+      if (!row.ok) row.violation = "shared-memory run incomplete";
+      row.extra.emplace_back("reads", std::to_string(m.reads));
+      row.extra.emplace_back("writes", std::to_string(m.writes));
+      return;
+    }
+    case Substrate::kDynamic: {
+      DynamicConfig cfg;
+      cfg.t = s.cfg.t;
+      const std::int64_t batches = s.param_or("batches", 6);
+      const std::int64_t per_batch = s.param_or("per_batch", 4 * s.cfg.t);
+      const std::uint64_t gap = static_cast<std::uint64_t>(s.param_or("gap", 25));
+      cfg.max_units = batches * per_batch;
+      cfg.horizon = gap * static_cast<std::uint64_t>(batches) + 8;
+      std::int64_t next = 1;
+      for (std::int64_t b = 0; b < batches; ++b) {
+        Arrival a;
+        a.round = gap * static_cast<std::uint64_t>(b);
+        a.proc = static_cast<int>(b % cfg.t);
+        for (std::int64_t k = 0; k < per_batch; ++k) a.units.push_back(next++);
+        cfg.arrivals.push_back(a);
+      }
+      DynamicRunResult r =
+          run_dynamic_do_all(cfg, s.faults.make(static_cast<std::uint64_t>(rep)));
+      row.work = r.metrics.work_total;
+      row.messages = r.metrics.messages_total;
+      row.effort = r.metrics.effort();
+      row.crashes = r.metrics.crashes;
+      row.last_round = r.metrics.last_retire_round;
+      row.rounds = format_round(r.metrics.last_retire_round);
+      row.ok = r.metrics.all_retired && r.all_known_work_done;
+      if (!row.ok) row.violation = "dynamic run lost announced work";
+      row.extra.emplace_back("lost_units", std::to_string(r.lost_units.size()));
+      return;
+    }
+  }
+  throw std::logic_error("run_one_rep: bad substrate");
+}
+
+}  // namespace
+
+std::vector<ScenarioResult> run_scenario(const std::string& experiment, const Scenario& s) {
+  std::vector<ScenarioResult> rows;
+  rows.reserve(static_cast<std::size_t>(s.repetitions));
+  for (int rep = 0; rep < s.repetitions; ++rep) {
+    ScenarioResult row;
+    row.experiment = experiment;
+    row.id = s.id;
+    row.group = s.group.empty() ? s.id : s.group;
+    row.protocol = s.protocol;
+    row.substrate = to_string(s.substrate);
+    row.faults = s.faults.to_string();
+    row.n = s.cfg.n;
+    row.t = s.cfg.t;
+    row.seed = s.seed;
+    row.rep = rep;
+    try {
+      run_one_rep(s, rep, row);
+    } catch (const std::exception& e) {
+      row.ok = false;
+      row.violation = e.what();
+    }
+    // Paper-bound columns ride along on every row of the group, under their
+    // full bound_* name (stripping the prefix would collide with the fixed
+    // msgs/rounds columns).
+    for (const auto& [key, value] : s.params)
+      if (key.rfind("bound_", 0) == 0)
+        row.extra.emplace_back(key, with_commas(static_cast<std::uint64_t>(value)));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace dowork::harness

@@ -1,0 +1,89 @@
+// Declarative scenarios: one simulated execution, described as a value.
+//
+// The experiment registry (harness/experiments.h) expands each named
+// experiment into a vector of Scenarios; the ParallelScenarioRunner fans
+// them out across threads; run_scenario() executes one and reduces it to a
+// flat ScenarioResult row.  Because a Scenario is pure data (protocol name,
+// config, fault spec, seed), the same vector produces byte-identical
+// results at any parallelism.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/work.h"
+#include "harness/fault_spec.h"
+
+namespace dowork::harness {
+
+// Which simulation substrate executes the scenario.  kSync covers every
+// registry protocol (baselines, A, B, C, C_batch, naive_C, D, D_coord); the
+// others are the paper's model variants with their own simulators.
+enum class Substrate : std::uint8_t { kSync, kByzantine, kAsync, kSharedMem, kDynamic };
+
+const char* to_string(Substrate s);
+
+struct Scenario {
+  std::string id;     // unique within its experiment; stable across runs
+  std::string group;  // aggregation key: rows sharing it reduce together
+  Substrate substrate = Substrate::kSync;
+  std::string protocol;  // registry name (kSync) or inner protocol (kByzantine)
+  // n = units of work; t = processes.  For kByzantine, n = processes that
+  // must agree and t = tolerated faults (the paper's Section 5 naming).
+  DoAllConfig cfg;
+  FaultSpec faults;  // kSync substrate adversary; others derive from params
+  std::uint64_t seed = 0;
+  int repetitions = 1;
+  // Substrate- and experiment-specific integer knobs (e.g. async delays,
+  // dynamic batch shape).  Keys prefixed "bound_" are paper-bound columns
+  // copied verbatim into the result rows for table/JSON output.
+  std::map<std::string, std::int64_t> params;
+
+  std::int64_t param_or(const std::string& key, std::int64_t fallback) const {
+    auto it = params.find(key);
+    return it == params.end() ? fallback : it->second;
+  }
+};
+
+// Flat result row for one repetition of one scenario: everything the JSON
+// report and the paper-style tables need, with BigUint round counts already
+// string-formatted (decimal when they fit, "~2^k" otherwise).
+struct ScenarioResult {
+  std::string experiment;
+  std::string id;
+  std::string group;
+  std::string protocol;
+  std::string substrate;
+  std::string faults;  // FaultSpec::to_string() or substrate crash summary
+  std::int64_t n = 0;
+  int t = 0;
+  std::uint64_t seed = 0;
+  int rep = 0;
+
+  bool ok = false;
+  std::string violation;  // empty when ok
+
+  std::uint64_t work = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t effort = 0;
+  std::uint64_t crashes = 0;
+  Round last_round;    // last retire round / end time, exact
+  std::string rounds;  // the same, formatted via format_round()
+  // Ordered extra columns: paper bounds, per-kind message counts, substrate
+  // specifics (APS, reads/writes, lost units, ...).
+  std::vector<std::pair<std::string, std::string>> extra;
+};
+
+// Executes one scenario (all repetitions, rep r uses seed + r) and returns
+// one row per repetition.  Never throws: failures come back as rows with
+// ok = false and the exception text in `violation`.
+std::vector<ScenarioResult> run_scenario(const std::string& experiment, const Scenario& s);
+
+// Compact round-count form: decimal when the value fits u64, "~2^k"
+// otherwise (Protocol C's deadlines are exponential in n + t).
+std::string format_round(const Round& r);
+
+}  // namespace dowork::harness

@@ -1,5 +1,6 @@
 #include "sim/metrics.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace dowork {
@@ -16,6 +17,28 @@ std::string RunMetrics::summary() const {
      << " effort=" << effort() << " rounds=" << last_retire_round.to_string()
      << " crashes=" << crashes << " done=" << (all_units_done() ? "yes" : "NO")
      << " retired=" << (all_retired ? "yes" : "NO");
+  return os.str();
+}
+
+void MetricsAggregate::absorb(const RunMetrics& m) {
+  ++runs;
+  max_work = std::max(max_work, m.work_total);
+  sum_work += m.work_total;
+  max_messages = std::max(max_messages, m.messages_total);
+  sum_messages += m.messages_total;
+  max_effort = std::max(max_effort, m.effort());
+  sum_effort += m.effort();
+  max_crashes = std::max(max_crashes, m.crashes);
+  sum_crashes += m.crashes;
+  if (m.last_retire_round > max_rounds) max_rounds = m.last_retire_round;
+  all_ok = all_ok && m.all_retired && m.all_units_done();
+}
+
+std::string MetricsAggregate::summary() const {
+  std::ostringstream os;
+  os << "runs=" << runs << " max_work=" << max_work << " max_msgs=" << max_messages
+     << " max_effort=" << max_effort << " max_rounds=" << max_rounds.to_string()
+     << " ok=" << (all_ok ? "yes" : "NO");
   return os.str();
 }
 

@@ -56,4 +56,23 @@ struct RunMetrics {
   std::string summary() const;
 };
 
+// Deterministic per-scenario aggregation of RunMetrics: the paper's tables
+// report a worst case (or total) over several adversaries / repetitions of
+// one configuration, and the parallel harness needs that reduction to be
+// independent of completion order.  absorb() is commutative and
+// associative, so aggregating rows in scenario order gives identical output
+// whether the runs happened on 1 thread or 8.
+struct MetricsAggregate {
+  std::uint64_t runs = 0;
+  std::uint64_t max_work = 0, sum_work = 0;
+  std::uint64_t max_messages = 0, sum_messages = 0;
+  std::uint64_t max_effort = 0, sum_effort = 0;
+  std::uint64_t max_crashes = 0, sum_crashes = 0;
+  Round max_rounds;  // max last_retire_round over runs
+  bool all_ok = true;  // every absorbed run completed and retired
+
+  void absorb(const RunMetrics& m);
+  std::string summary() const;
+};
+
 }  // namespace dowork

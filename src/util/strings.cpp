@@ -38,9 +38,16 @@ std::string TablePrinter::render() const {
 void TablePrinter::print() const { std::cout << render() << std::flush; }
 
 std::string with_commas(std::uint64_t v) {
-  std::string s = std::to_string(v);
-  for (int i = static_cast<int>(s.size()) - 3; i > 0; i -= 3) s.insert(static_cast<size_t>(i), ",");
-  return s;
+  // Built by appending (not std::string::insert, which trips a GCC 12
+  // -Werror=restrict false positive when inlined here).
+  const std::string digits = std::to_string(v);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i > 0 && (digits.size() - i) % 3 == 0) out += ',';
+    out += digits[i];
+  }
+  return out;
 }
 
 std::string ratio(double v) {

@@ -1,0 +1,256 @@
+// Tests for the scenario harness: fault-spec round-trips, the parallel
+// runner's determinism and ordering guarantees, the experiment registry,
+// and the scenario hooks added to core/ and sim/.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/runner.h"
+#include "harness/experiments.h"
+#include "harness/parallel_runner.h"
+#include "harness/report.h"
+#include "harness/scenario.h"
+
+namespace dowork::harness {
+namespace {
+
+// --- FaultSpec --------------------------------------------------------------
+
+TEST(FaultSpec, RoundTripsEveryKind) {
+  std::vector<FaultSpec> specs = {
+      FaultSpec::none(),
+      FaultSpec::cascade(7, 15, 2, false),
+      FaultSpec::cascade(1, 3, SIZE_MAX, true),
+      FaultSpec::on_unit(63, 31, 1),
+      FaultSpec::random(0.05, 15, 42),
+      FaultSpec::random(1.0 / 3.0, 7, 0),  // needs full double precision
+      FaultSpec::scheduled({{0, 1, CrashPlan{false, 4}}, {3, 9, CrashPlan{true, SIZE_MAX}}}),
+  };
+  for (const FaultSpec& spec : specs) {
+    const std::string text = spec.to_string();
+    EXPECT_EQ(FaultSpec::parse(text), spec) << text;
+    // A second round-trip must be a fixed point.
+    EXPECT_EQ(FaultSpec::parse(text).to_string(), text);
+  }
+}
+
+TEST(FaultSpec, ParseRejectsMalformedInput) {
+  EXPECT_THROW(FaultSpec::parse("bogus"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::parse("cascade(units=1)"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::parse("martian(x=1)"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::parse("scheduled(nonsense)"), std::invalid_argument);
+}
+
+TEST(FaultSpec, MakeBuildsTheRightInjector) {
+  // The cascade spec must reproduce WorkCascadeFaults behavior: run Protocol
+  // A under the spec-built injector and under a hand-built one; identical
+  // deterministic adversaries give identical metrics.
+  const DoAllConfig cfg{64, 8};
+  RunResult via_spec = run_do_all("A", cfg, FaultSpec::cascade(2, 7, 1).make());
+  RunResult direct = run_do_all("A", cfg, std::make_unique<WorkCascadeFaults>(2, 7, 1));
+  ASSERT_TRUE(via_spec.ok());
+  EXPECT_EQ(via_spec.metrics.work_total, direct.metrics.work_total);
+  EXPECT_EQ(via_spec.metrics.messages_total, direct.metrics.messages_total);
+  EXPECT_EQ(via_spec.metrics.crashes, direct.metrics.crashes);
+}
+
+TEST(FaultSpec, RandomRepPerturbsTheSeed) {
+  // Same spec, different rep => different schedule (with overwhelming
+  // probability for this shape); same rep => identical schedule.
+  const DoAllConfig cfg{256, 16};
+  const FaultSpec spec = FaultSpec::random(0.2, 15, 7);
+  RunResult r0a = run_do_all("A", cfg, spec.make(0));
+  RunResult r0b = run_do_all("A", cfg, spec.make(0));
+  RunResult r1 = run_do_all("A", cfg, spec.make(1));
+  EXPECT_EQ(r0a.metrics.work_total, r0b.metrics.work_total);
+  EXPECT_EQ(r0a.metrics.messages_total, r0b.metrics.messages_total);
+  EXPECT_TRUE(r0a.metrics.work_total != r1.metrics.work_total ||
+              r0a.metrics.messages_total != r1.metrics.messages_total ||
+              r0a.metrics.last_retire_round != r1.metrics.last_retire_round);
+}
+
+// --- scenario hooks in core/ ------------------------------------------------
+
+TEST(ScenarioHooks, ProtocolParamSelectsCheckpointInterval) {
+  const DoAllConfig cfg{128, 8};
+  RunOptions k1, k32;
+  k1.protocol_param = 1;
+  k32.protocol_param = 32;
+  RunResult frequent = run_do_all("baseline_checkpoint", cfg, std::make_unique<NoFaults>(), k1);
+  RunResult rare = run_do_all("baseline_checkpoint", cfg, std::make_unique<NoFaults>(), k32);
+  ASSERT_TRUE(frequent.ok());
+  ASSERT_TRUE(rare.ok());
+  // Checkpointing every unit sends ~t messages per unit; every 32 units
+  // divides that by 32.
+  EXPECT_GT(frequent.metrics.messages_total, 4 * rare.metrics.messages_total);
+}
+
+TEST(ScenarioHooks, ParamOnParamlessProtocolThrows) {
+  RunOptions opts;
+  opts.protocol_param = 3;
+  EXPECT_THROW(run_do_all("A", DoAllConfig{16, 4}, std::make_unique<NoFaults>(), opts),
+               std::invalid_argument);
+}
+
+// --- MetricsAggregate -------------------------------------------------------
+
+TEST(MetricsAggregate, OrderIndependentReduction) {
+  RunMetrics a, b, c;
+  a.work_total = 10;
+  a.messages_total = 5;
+  a.last_retire_round = Round{100};
+  a.all_retired = true;
+  b.work_total = 30;
+  b.messages_total = 1;
+  b.last_retire_round = Round{50};
+  b.all_retired = true;
+  c.work_total = 20;
+  c.messages_total = 9;
+  c.last_retire_round = BigUint::pow2(90);
+  c.all_retired = true;
+
+  MetricsAggregate fwd, rev;
+  for (const RunMetrics* m : {&a, &b, &c}) fwd.absorb(*m);
+  for (const RunMetrics* m : {&c, &b, &a}) rev.absorb(*m);
+  EXPECT_EQ(fwd.max_work, 30u);
+  EXPECT_EQ(fwd.sum_work, 60u);
+  EXPECT_EQ(fwd.max_messages, 9u);
+  EXPECT_EQ(fwd.max_effort, rev.max_effort);
+  EXPECT_EQ(fwd.max_rounds, rev.max_rounds);
+  EXPECT_EQ(fwd.max_rounds, BigUint::pow2(90));
+  EXPECT_EQ(fwd.sum_messages, rev.sum_messages);
+}
+
+// --- experiment registry ----------------------------------------------------
+
+TEST(Experiments, RegistryIsWellFormed) {
+  std::set<std::string> names;
+  for (const ExperimentInfo& e : all_experiments()) {
+    EXPECT_TRUE(names.insert(e.name).second) << "duplicate experiment " << e.name;
+    EXPECT_FALSE(e.title.empty());
+    EXPECT_FALSE(e.claim.empty());
+    const std::vector<Scenario> scenarios = e.scenarios();
+    EXPECT_FALSE(scenarios.empty()) << e.name;
+    std::set<std::string> ids;
+    for (const Scenario& s : scenarios) {
+      EXPECT_TRUE(ids.insert(s.id).second) << e.name << " duplicate scenario id " << s.id;
+      EXPECT_GE(s.repetitions, 1) << s.id;
+    }
+  }
+  EXPECT_NE(find_experiment("smoke"), nullptr);
+  EXPECT_EQ(find_experiment("no_such_experiment"), nullptr);
+}
+
+// --- parallel runner --------------------------------------------------------
+
+TEST(ParallelScenarioRunner, PreservesScenarioOrderAtAnyParallelism) {
+  const ExperimentInfo* smoke = find_experiment("smoke");
+  ASSERT_NE(smoke, nullptr);
+  const std::vector<Scenario> scenarios = smoke->scenarios();
+  const std::vector<ScenarioResult> rows = ParallelScenarioRunner(4).run("smoke", scenarios);
+  ASSERT_EQ(rows.size(), scenarios.size());  // smoke has one rep per scenario
+  for (std::size_t i = 0; i < scenarios.size(); ++i) EXPECT_EQ(rows[i].id, scenarios[i].id);
+}
+
+TEST(ParallelScenarioRunner, DeterministicJsonAcrossJobCounts) {
+  // The acceptance bar for the whole harness: same seeds => byte-identical
+  // aggregated output whether scenarios ran on 1 thread or 8.
+  const ExperimentInfo* smoke = find_experiment("smoke");
+  ASSERT_NE(smoke, nullptr);
+  const std::vector<Scenario> scenarios = smoke->scenarios();
+  const std::string json1 = to_json("smoke", ParallelScenarioRunner(1).run("smoke", scenarios));
+  const std::string json8 = to_json("smoke", ParallelScenarioRunner(8).run("smoke", scenarios));
+  EXPECT_EQ(json1, json8);
+}
+
+TEST(ParallelScenarioRunner, BadScenarioBecomesFailedRowNotCrash) {
+  Scenario bad;
+  bad.id = bad.group = "bad";
+  bad.protocol = "no_such_protocol";
+  bad.cfg = DoAllConfig{8, 2};
+  Scenario good;
+  good.id = good.group = "good";
+  good.protocol = "A";
+  good.cfg = DoAllConfig{8, 2};
+  good.faults = FaultSpec::none();
+  const std::vector<ScenarioResult> rows =
+      ParallelScenarioRunner(2).run("mixed", {bad, good});
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_FALSE(rows[0].ok);
+  EXPECT_NE(rows[0].violation.find("no_such_protocol"), std::string::npos);
+  EXPECT_TRUE(rows[1].ok);
+}
+
+TEST(ParallelScenarioRunner, RepetitionsExpandToIndexedRows) {
+  Scenario s;
+  s.id = s.group = "reps";
+  s.protocol = "A";
+  s.cfg = DoAllConfig{32, 4};
+  s.faults = FaultSpec::random(0.1, 3, 11);
+  s.repetitions = 5;
+  const std::vector<ScenarioResult> rows = ParallelScenarioRunner(2).run("reps", {s});
+  ASSERT_EQ(rows.size(), 5u);
+  for (int rep = 0; rep < 5; ++rep) {
+    EXPECT_EQ(rows[static_cast<std::size_t>(rep)].rep, rep);
+    EXPECT_TRUE(rows[static_cast<std::size_t>(rep)].ok)
+        << rows[static_cast<std::size_t>(rep)].violation;
+  }
+}
+
+// --- report -----------------------------------------------------------------
+
+TEST(Report, AggregatesByGroupInFirstOccurrenceOrder) {
+  ScenarioResult r1, r2, r3;
+  r1.group = "g1";
+  r1.work = 10;
+  r1.last_round = Round{5};
+  r1.ok = true;
+  r2.group = "g2";
+  r2.work = 99;
+  r2.last_round = BigUint::pow2(80);
+  r2.ok = true;
+  r3.group = "g1";
+  r3.work = 30;
+  r3.last_round = Round{12};
+  r3.ok = false;
+  const std::vector<GroupAggregate> groups = aggregate({r1, r2, r3});
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].group, "g1");
+  EXPECT_EQ(groups[0].metrics.runs, 2u);
+  EXPECT_EQ(groups[0].metrics.max_work, 30u);
+  EXPECT_EQ(groups[0].metrics.max_rounds, Round{12});
+  EXPECT_FALSE(groups[0].metrics.all_ok);
+  EXPECT_EQ(groups[1].group, "g2");
+  EXPECT_EQ(groups[1].metrics.max_rounds, BigUint::pow2(80));
+  EXPECT_TRUE(groups[1].metrics.all_ok);
+}
+
+TEST(Report, ExtrasReduceAcrossGroupRows) {
+  // A group's extra columns must be reduced over ALL rows (union of keys,
+  // max of magnitudes, NO-dominates flags) -- not copied from the first row.
+  ScenarioResult r1, r2, r3;
+  r1.group = r2.group = r3.group = "g";
+  r1.ok = r2.ok = r3.ok = true;
+  r1.extra = {{"polls", "8"}, {"agreement", "yes"}};
+  r2.extra = {{"polls", "12"}, {"aps", "~2^80"}, {"agreement", "yes"}};
+  r3.extra = {{"polls", "9"}, {"aps", "999"}, {"agreement", "NO"}};
+  const std::vector<GroupAggregate> groups = aggregate({r1, r2, r3});
+  ASSERT_EQ(groups.size(), 1u);
+  const auto value_of = [&](const std::string& key) -> std::string {
+    for (const auto& [k, v] : groups[0].extra)
+      if (k == key) return v;
+    return "<missing>";
+  };
+  EXPECT_EQ(value_of("polls"), "12");     // max over rows, not first row's 8
+  EXPECT_EQ(value_of("aps"), "~2^80");    // ~2^k dominates any decimal
+  EXPECT_EQ(value_of("agreement"), "NO");  // a failing flag must surface
+}
+
+TEST(Report, JsonEscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+}  // namespace
+}  // namespace dowork::harness
