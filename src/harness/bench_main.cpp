@@ -21,6 +21,9 @@ void print_usage(const char* argv0, const std::string& fixed_experiment) {
   std::printf(
       "  --jobs N            worker threads (default: hardware concurrency)\n"
       "  --json PATH         write the machine-readable report to PATH ('-' = stdout)\n"
+      "  --filter SUBSTR     only run scenarios whose id contains SUBSTR\n"
+      "  --timing            include wall-clock timing in the JSON report\n"
+      "                      (machine-dependent; breaks byte-identity across runs)\n"
       "  --list              list experiments and exit\n"
       "  --quiet             suppress the tables\n"
       "  --help              this text\n");
@@ -64,6 +67,10 @@ int bench_main(int argc, char** argv, const std::string& fixed_experiment) {
       }
     } else if (arg == "--json") {
       opt.json_path = next();
+    } else if (arg == "--filter") {
+      opt.filter = next();
+    } else if (arg == "--timing") {
+      opt.timing = true;
     } else if (arg == "--list") {
       opt.list_only = true;
     } else if (arg == "--quiet") {
@@ -104,8 +111,26 @@ int bench_main(int argc, char** argv, const std::string& fixed_experiment) {
   ParallelScenarioRunner runner(opt.jobs);
   std::vector<std::string> json_docs;
   bool all_ok = true;
+  bool filter_matched_any = false;
   for (const ExperimentInfo* e : selected) {
-    const std::vector<Scenario> scenarios = e->scenarios();
+    std::vector<Scenario> scenarios = e->scenarios();
+    if (!opt.filter.empty()) {
+      std::erase_if(scenarios, [&](const Scenario& s) {
+        return s.id.find(opt.filter) == std::string::npos;
+      });
+      if (scenarios.empty()) {
+        // With a single experiment a no-match filter is a hard error; across
+        // several (--experiment all) it just skips the experiments it does
+        // not touch -- erroring only if it matched nothing anywhere (below).
+        if (selected.size() == 1) {
+          std::fprintf(stderr, "%s: --filter '%s' matches no scenario of '%s'\n", argv[0],
+                       opt.filter.c_str(), e->name.c_str());
+          return 2;
+        }
+        continue;
+      }
+      filter_matched_any = true;
+    }
     const auto start = std::chrono::steady_clock::now();
     const std::vector<ScenarioResult> rows = runner.run(e->name, scenarios);
     const double secs =
@@ -123,7 +148,13 @@ int bench_main(int argc, char** argv, const std::string& fixed_experiment) {
         std::fprintf(stderr, "FAILED: %s/%s rep %d: %s\n", e->name.c_str(), row.id.c_str(),
                      row.rep, row.violation.c_str());
       }
-    if (!opt.json_path.empty()) json_docs.push_back(to_json(e->name, rows));
+    if (!opt.json_path.empty()) json_docs.push_back(to_json(e->name, rows, opt.timing));
+  }
+
+  if (!opt.filter.empty() && selected.size() > 1 && !filter_matched_any) {
+    std::fprintf(stderr, "%s: --filter '%s' matches no scenario of any experiment\n", argv[0],
+                 opt.filter.c_str());
+    return 2;
   }
 
   if (!opt.json_path.empty()) {

@@ -17,14 +17,16 @@ struct BenchOptions {
   std::string experiment;
   int jobs = 0;           // 0 = hardware concurrency
   std::string json_path;  // empty = no JSON output
+  std::string filter;     // substring over scenario ids; empty = keep all
   bool list_only = false;
-  bool quiet = false;  // suppress tables (JSON/e2e timing only)
+  bool quiet = false;   // suppress tables (JSON/e2e timing only)
+  bool timing = false;  // include the machine-dependent "timing" JSON key
 };
 
-// Parses argv (flags: --experiment NAME, --jobs N, --json PATH, --list,
-// --quiet, --help).  `fixed_experiment` pins a wrapper binary to its
-// experiment (its --experiment flag is rejected).  Returns the process exit
-// code.
+// Parses argv (flags: --experiment NAME, --jobs N, --json PATH,
+// --filter SUBSTR, --timing, --list, --quiet, --help).  `fixed_experiment`
+// pins a wrapper binary to its experiment (its --experiment flag is
+// rejected).  Returns the process exit code.
 int bench_main(int argc, char** argv, const std::string& fixed_experiment = "");
 
 }  // namespace dowork::harness

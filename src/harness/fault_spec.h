@@ -6,6 +6,33 @@
 // names one of the simulator's adversaries plus its knobs, builds a fresh
 // injector per run via make(), and round-trips through to_string()/parse()
 // so scenario ids and JSON rows identify the exact adversary.
+//
+// ## The string grammar accepted by parse()
+//
+// parse() accepts exactly the language to_string() emits (and throws
+// std::invalid_argument on anything else); parse(to_string()) is the
+// identity, and to_string(parse()) is a fixed point.  No whitespace is
+// permitted anywhere.
+//
+//   spec      := "none" | cascade | on_unit | random | scheduled
+//   cascade   := "cascade(units=" U64 ",crashes=" INT ",prefix=" PREFIX
+//                ",completes=" BOOL ")"
+//   on_unit   := "on_unit(unit=" I64 ",crashes=" INT ",prefix=" PREFIX ")"
+//   random    := "random(p=" DOUBLE ",crashes=" INT ",seed=" U64 ")"
+//   scheduled := "scheduled(" entry (";" entry)* ")"     -- may be empty: "scheduled()"
+//   entry     := PROC "@" NTH ":" BOOL ":" PREFIX        -- proc, action ordinal, plan
+//
+//   PREFIX := "all" | U64      -- how many of the dying broadcast's sends
+//                                 escape; "all" round-trips SIZE_MAX
+//   BOOL   := "0" | "1"
+//   DOUBLE := shortest %g form that re-parses to the identical double
+//
+// Examples (all produced by the convenience constructors below):
+//   none
+//   cascade(units=129,crashes=63,prefix=1,completes=1)
+//   on_unit(unit=63,crashes=31,prefix=0)
+//   random(p=0.05,crashes=15,seed=42)
+//   scheduled(0@1:0:4;3@9:1:all)
 #pragma once
 
 #include <memory>
@@ -17,24 +44,41 @@
 namespace dowork::harness {
 
 struct FaultSpec {
+  // Which of the simulator's adversaries (sim/fault_injector.h) this spec
+  // names.  Which of the knob fields below are meaningful depends on it;
+  // the unused ones keep their defaults and are ignored by make(),
+  // to_string() and operator==.
   enum class Kind : std::uint8_t { kNone, kCascade, kOnUnit, kRandom, kScheduled };
 
+  // kNone (the default): no process ever fails.
   Kind kind = Kind::kNone;
 
-  // kCascade: WorkCascadeFaults(units_before_crash, max_crashes,
-  // deliver_prefix, crash_completes_unit).
+  // kCascade: how many units the currently-working process performs before
+  // the adversary kills it (WorkCascadeFaults's takeover-cascade rhythm).
   std::uint64_t units_before_crash = 1;
-  // kCascade / kOnUnit / kRandom: crash budget.
+  // kCascade / kOnUnit / kRandom: total crash budget; the simulator
+  // additionally never lets the last survivor die.
   int max_crashes = 0;
-  // kCascade / kOnUnit: broadcast truncation on crash (SIZE_MAX = all).
+  // kCascade / kOnUnit: broadcast truncation on crash -- the number of the
+  // dying process's in-progress sends that still escape (paper Section 2.1:
+  // "only some subset of the processes receive the message").  0 = nothing
+  // escapes, SIZE_MAX (spelled "all" in the grammar) = the full broadcast.
   std::size_t deliver_prefix = 0;
+  // kCascade: does the unit in progress complete before the crash?  A false
+  // value models dying *during* the unit, so a successor must redo it.
   bool crash_completes_unit = true;
-  // kOnUnit: CrashOnUnitFaults(unit, ...).
+  // kOnUnit: the 1-based unit id whose performance triggers the crash
+  // (CrashOnUnitFaults; with unit = n this is the Section 3 adversary that
+  // kills every most-knowledgeable process at the finish line).
   std::int64_t unit = 0;
-  // kRandom: RandomFaults(p, max_crashes, seed + rep).
+  // kRandom: per-round crash probability for every live, non-idle process.
   double p = 0.0;
+  // kRandom: RNG seed.  make(rep) draws from seed + rep, so repetitions of
+  // one scenario explore different schedules while staying reproducible.
   std::uint64_t seed = 0;
-  // kScheduled: ScheduledFaults(entries).
+  // kScheduled: an explicit kill list -- (proc, its k-th non-idle action,
+  // CrashPlan) triples, applied by ScheduledFaults exactly as written.
+  // Used by tests and the protocol_d experiments to craft exact executions.
   std::vector<ScheduledFaults::Entry> entries;
 
   // Fresh injector for one run.  `rep` perturbs the random adversary's seed
@@ -42,9 +86,8 @@ struct FaultSpec {
   // ignore it.
   std::unique_ptr<FaultInjector> make(std::uint64_t rep = 0) const;
 
-  // Compact single-line form, e.g. "cascade(units=1,crashes=15,prefix=0,
-  // completes=1)".  parse() accepts exactly what to_string() emits and throws
-  // std::invalid_argument otherwise.
+  // Compact single-line form per the grammar above; parse() accepts exactly
+  // what to_string() emits and throws std::invalid_argument otherwise.
   std::string to_string() const;
   static FaultSpec parse(const std::string& text);
 

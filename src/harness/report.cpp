@@ -44,6 +44,14 @@ std::string merge_extra(const std::string& a, const std::string& b) {
   return "mixed";
 }
 
+// Fixed-format milliseconds (locale-independent, for tables and the timing
+// JSON section).
+std::string format_ms(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", ms);
+  return buf;
+}
+
 }  // namespace
 
 std::vector<GroupAggregate> aggregate(const std::vector<ScenarioResult>& rows) {
@@ -71,6 +79,7 @@ std::vector<GroupAggregate> aggregate(const std::vector<ScenarioResult>& rows) {
     m.last_retire_round = row.last_round;
     m.all_retired = row.ok;  // a failed row poisons the group's all_ok
     g->metrics.absorb(m);
+    g->wall_ms += row.wall_ms;  // sum: commutative, so jobs-order independent
     // Union of extra keys in first-occurrence order, values reduced
     // commutatively so completion order cannot matter.
     for (const auto& [key, value] : row.extra) {
@@ -90,7 +99,7 @@ std::vector<GroupAggregate> aggregate(const std::vector<ScenarioResult>& rows) {
 std::string render_table(const std::vector<GroupAggregate>& groups) {
   std::vector<std::string> headers = {"scenario", "protocol", "n",      "t",
                                       "runs",     "work",     "msgs",   "effort",
-                                      "rounds",   "crashes",  "ok"};
+                                      "rounds",   "crashes",  "ok",     "ms"};
   // Columns are the union of extra keys over all groups, in first-occurrence
   // order, so a key absent from the first group still gets a column.
   std::vector<std::string> extra_keys;
@@ -112,7 +121,8 @@ std::string render_table(const std::vector<GroupAggregate>& groups) {
                                     with_commas(g.metrics.max_effort),
                                     format_round(g.metrics.max_rounds),
                                     std::to_string(g.metrics.max_crashes),
-                                    g.metrics.all_ok ? "yes" : "NO"};
+                                    g.metrics.all_ok ? "yes" : "NO",
+                                    format_ms(g.wall_ms)};
     for (const std::string& key : extra_keys) {
       std::string value;
       for (const auto& [k, v] : g.extra)
@@ -167,7 +177,8 @@ void append_kv(std::string& out, const char* key, const std::string& value, bool
 
 }  // namespace
 
-std::string to_json(const std::string& experiment, const std::vector<ScenarioResult>& rows) {
+std::string to_json(const std::string& experiment, const std::vector<ScenarioResult>& rows,
+                    bool include_timing) {
   std::string out = "{\"experiment\":\"" + json_escape(experiment) + "\",\"rows\":[";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const ScenarioResult& r = rows[i];
@@ -243,7 +254,21 @@ std::string to_json(const std::string& experiment, const std::vector<ScenarioRes
     append_kv(out, "ok", g.metrics.all_ok ? "true" : "false", false);
     out += '}';
   }
-  out += "]}";
+  out += ']';
+  if (include_timing) {
+    // Machine-dependent by design; excluded from the determinism contract
+    // (see report.h).  Groups are keyed, not positional, so consumers can
+    // join on the aggregates.
+    double total = 0;
+    for (const ScenarioResult& r : rows) total += r.wall_ms;
+    out += ",\"timing\":{\"total_ms\":" + format_ms(total) + ",\"groups\":{";
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      if (i) out += ',';
+      out += '"' + json_escape(groups[i].group) + "\":" + format_ms(groups[i].wall_ms);
+    }
+    out += "}}";
+  }
+  out += '}';
   return out;
 }
 

@@ -21,6 +21,7 @@ struct GroupAggregate {
   std::int64_t n = 0;
   int t = 0;
   MetricsAggregate metrics;
+  double wall_ms = 0;  // summed over the group's rows; tables/timing only
   // Extra columns, reduced across the group's rows: the union of keys in
   // first-occurrence order; numeric/round-formatted values reduce to their
   // max, yes/NO flags to NO-if-any-NO, anything else must agree ("mixed"
@@ -31,13 +32,18 @@ struct GroupAggregate {
 // Groups rows by their group key, in first-occurrence order.
 std::vector<GroupAggregate> aggregate(const std::vector<ScenarioResult>& rows);
 
-// Paper-style table over the aggregated groups.
+// Paper-style table over the aggregated groups.  The trailing "ms" column
+// (wall-clock per group) is for humans; it never enters the JSON row data.
 std::string render_table(const std::vector<GroupAggregate>& groups);
 
 // Deterministic JSON document: {"experiment", "rows": [...], "aggregates":
 // [...]} with no timestamps or machine-dependent fields, so --jobs 1 and
-// --jobs N produce byte-identical output.
-std::string to_json(const std::string& experiment, const std::vector<ScenarioResult>& rows);
+// --jobs N produce byte-identical output.  With include_timing, a trailing
+// "timing" key is appended ({"total_ms", "groups": {group: ms}}) -- the one
+// machine-dependent section, used for perf artifacts like BENCH_scale.json;
+// CI's determinism diff runs without it and stays byte-exact.
+std::string to_json(const std::string& experiment, const std::vector<ScenarioResult>& rows,
+                    bool include_timing = false);
 
 // Minimal JSON string escaping (quotes, backslash, control characters).
 std::string json_escape(const std::string& s);

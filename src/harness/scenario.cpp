@@ -1,5 +1,6 @@
 #include "harness/scenario.h"
 
+#include <chrono>
 #include <exception>
 
 #include "agreement/byzantine.h"
@@ -169,12 +170,16 @@ std::vector<ScenarioResult> run_scenario(const std::string& experiment, const Sc
     row.t = s.cfg.t;
     row.seed = s.seed;
     row.rep = rep;
+    const auto start = std::chrono::steady_clock::now();
     try {
       run_one_rep(s, rep, row);
     } catch (const std::exception& e) {
       row.ok = false;
       row.violation = e.what();
     }
+    row.wall_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+            .count();
     // Paper-bound columns ride along on every row of the group, under their
     // full bound_* name (stripping the prefix would collide with the fixed
     // msgs/rounds columns).

@@ -27,19 +27,41 @@ enum class Substrate : std::uint8_t { kSync, kByzantine, kAsync, kSharedMem, kDy
 const char* to_string(Substrate s);
 
 struct Scenario {
-  std::string id;     // unique within its experiment; stable across runs
-  std::string group;  // aggregation key: rows sharing it reduce together
+  // Unique within its experiment and stable across runs/builds: it names
+  // the row in logs, JSON, and `dowork_bench --filter` matches against it.
+  // Generators conventionally use "<group>/<faults.to_string()>".
+  std::string id;
+  // Aggregation key: all rows sharing a group reduce into one table line
+  // (the paper's worst-over-adversaries semantics).  Empty = use `id`.
+  std::string group;
+  // Which simulation substrate executes the scenario (enum above).
   Substrate substrate = Substrate::kSync;
-  std::string protocol;  // registry name (kSync) or inner protocol (kByzantine)
-  // n = units of work; t = processes.  For kByzantine, n = processes that
-  // must agree and t = tolerated faults (the paper's Section 5 naming).
+  // For kSync: a protocol registry name (src/core/registry.h) such as "A",
+  // "C_batch", "baseline_all".  For kByzantine: the *inner* work protocol
+  // the agreement layer runs over.  Other substrates have one hard-wired
+  // algorithm and ignore it beyond labeling.
+  std::string protocol;
+  // Instance shape.  n = units of work; t = processes.  For kByzantine,
+  // n = processes that must agree and t = tolerated faults (the paper's
+  // Section 5 naming).  kDynamic derives its workload from params instead.
   DoAllConfig cfg;
-  FaultSpec faults;  // kSync substrate adversary; others derive from params
+  // The declarative adversary (see fault_spec.h for the grammar).  Drives
+  // the kSync and kDynamic substrates directly; kByzantine feeds it to the
+  // underlying synchronous run; kAsync/kSharedMem build their crash specs
+  // from params instead.
+  FaultSpec faults;
+  // Base seed for anything stochastic: repetition r uses seed + r (random
+  // adversaries, async delivery delays).  Purely deterministic scenarios
+  // ignore it.  Identical seeds => identical rows, any thread count.
   std::uint64_t seed = 0;
+  // Number of repetitions; each becomes its own ScenarioResult row with
+  // rep = 0..repetitions-1.  Only useful when seed enters the run.
   int repetitions = 1;
-  // Substrate- and experiment-specific integer knobs (e.g. async delays,
-  // dynamic batch shape).  Keys prefixed "bound_" are paper-bound columns
-  // copied verbatim into the result rows for table/JSON output.
+  // Substrate- and experiment-specific integer knobs (e.g. "max_delay",
+  // "fd_delay" for kAsync; "batches", "per_batch", "gap" for kDynamic;
+  // "protocol_param" tunes a registry protocol's constructor; "value" is
+  // the Byzantine general's value).  Keys prefixed "bound_" are paper-bound
+  // columns copied verbatim into the result rows for table/JSON output.
   std::map<std::string, std::int64_t> params;
 
   std::int64_t param_or(const std::string& key, std::int64_t fallback) const {
@@ -52,26 +74,40 @@ struct Scenario {
 // report and the paper-style tables need, with BigUint round counts already
 // string-formatted (decimal when they fit, "~2^k" otherwise).
 struct ScenarioResult {
+  // Identity: copied from the scenario (and the experiment that owns it)
+  // so each row is self-describing in the JSON report.
   std::string experiment;
   std::string id;
   std::string group;
   std::string protocol;
-  std::string substrate;
-  std::string faults;  // FaultSpec::to_string() or substrate crash summary
+  std::string substrate;   // to_string(Substrate)
+  std::string faults;      // FaultSpec::to_string()
   std::int64_t n = 0;
   int t = 0;
-  std::uint64_t seed = 0;
-  int rep = 0;
+  std::uint64_t seed = 0;  // the scenario's base seed (not seed + rep)
+  int rep = 0;             // which repetition this row is, 0-based
 
+  // Outcome: ok means the run completed all n units, every process retired,
+  // and the substrate's own checks passed (agreement/validity, no lost
+  // announced work, ...).  Otherwise `violation` holds the verifier's
+  // message or the exception text -- run_scenario() never throws.
   bool ok = false;
   std::string violation;  // empty when ok
 
+  // The paper's measures (see PAPER.md): units performed counting
+  // multiplicity; point-to-point sends (shared-memory runs count reads +
+  // writes here); work + messages; processes crashed by the adversary.
   std::uint64_t work = 0;
   std::uint64_t messages = 0;
   std::uint64_t effort = 0;
   std::uint64_t crashes = 0;
   Round last_round;    // last retire round / end time, exact
   std::string rounds;  // the same, formatted via format_round()
+  // Wall-clock time of this repetition, milliseconds.  Machine-dependent by
+  // nature: it appears in the human-facing tables and in the JSON report's
+  // optional "timing" section only (to_json must be asked for it), never in
+  // the deterministic row data that CI byte-compares across --jobs values.
+  double wall_ms = 0;
   // Ordered extra columns: paper bounds, per-kind message counts, substrate
   // specifics (APS, reads/writes, lost units, ...).
   std::vector<std::pair<std::string, std::string>> extra;

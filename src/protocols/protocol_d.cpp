@@ -7,31 +7,26 @@ namespace dowork {
 ProtocolDProcess::ProtocolDProcess(const DoAllConfig& cfg, int self)
     : n_(cfg.n), t_(cfg.t), self_(self) {
   cfg.validate();
-  s_.assign(static_cast<std::size_t>(n_), 1);
-  t_alive_.assign(static_cast<std::size_t>(t_), 1);
+  s_ = DynBitset(static_cast<std::size_t>(n_), true);
+  t_alive_ = DynBitset(static_cast<std::size_t>(t_), true);
+  seen_.assign(static_cast<std::size_t>(t_), nullptr);
   grace_ = 0;  // phase 1 starts in lockstep: no grace iteration needed
-}
-
-std::uint64_t ProtocolDProcess::count(const std::vector<std::uint8_t>& bits) const {
-  std::uint64_t c = 0;
-  for (std::uint8_t b : bits) c += b;
-  return c;
 }
 
 void ProtocolDProcess::enter_work_phase(const Round& now) {
   // Figure 4 line 5: among the units still outstanding, take the slice of
   // ceil(|S|/|T|) whose gradeS-rank matches our gradeT-rank.
   std::vector<std::int64_t> outstanding;
-  for (std::int64_t u = 1; u <= n_; ++u)
-    if (s_[static_cast<std::size_t>(u - 1)]) outstanding.push_back(u);
-  const std::uint64_t alive = std::max<std::uint64_t>(1, count(t_alive_));
+  for (std::size_t i = s_.find_next(0); i < s_.size(); i = s_.find_next(i + 1))
+    outstanding.push_back(static_cast<std::int64_t>(i) + 1);
+  const std::uint64_t alive = std::max<std::uint64_t>(1, t_alive_.count());
   const std::int64_t w = ceil_div(static_cast<std::int64_t>(outstanding.size()),
                                   static_cast<std::int64_t>(alive));
   my_slice_.clear();
   slice_pos_ = 0;
-  if (t_alive_[static_cast<std::size_t>(self_)]) {
-    std::int64_t rank = 0;
-    for (int i = 0; i < self_; ++i) rank += t_alive_[static_cast<std::size_t>(i)];
+  if (t_alive_.test(static_cast<std::size_t>(self_))) {
+    const std::int64_t rank =
+        static_cast<std::int64_t>(t_alive_.count_prefix(static_cast<std::size_t>(self_)));
     const std::int64_t from = rank * w;
     const std::int64_t to =
         std::min<std::int64_t>(from + w, static_cast<std::int64_t>(outstanding.size()));
@@ -42,13 +37,13 @@ void ProtocolDProcess::enter_work_phase(const Round& now) {
   // agreement phases stay aligned.
   work_end_ = now + Round{static_cast<std::uint64_t>(w)};
   // Line 8: S := S \ S' -- if we live to broadcast, the slice was performed.
-  for (std::int64_t u : my_slice_) s_[static_cast<std::size_t>(u - 1)] = 0;
+  for (std::int64_t u : my_slice_) s_.reset(static_cast<std::size_t>(u - 1));
 }
 
 void ProtocolDProcess::enter_agree_phase(const Round&) {
   u_ = t_alive_;
-  tn_.assign(static_cast<std::size_t>(t_), 0);
-  tn_[static_cast<std::size_t>(self_)] = 1;
+  tn_ = DynBitset(static_cast<std::size_t>(t_));
+  tn_.set(static_cast<std::size_t>(self_));
   sn_ = s_;
   iter_ = 0;
   done_ = false;
@@ -58,25 +53,25 @@ Action ProtocolDProcess::agree_broadcast(bool done) {
   Action a;
   auto payload = std::make_shared<AgreeMsg>(phase_, sn_, tn_, done);
   for (int i = 0; i < t_; ++i)
-    if (i != self_ && u_[static_cast<std::size_t>(i)])
+    if (i != self_ && u_.test(static_cast<std::size_t>(i)))
       a.sends.push_back(Outgoing{i, MsgKind::kAgreement, payload});
   return a;
 }
 
 void ProtocolDProcess::finish_agree(const Round& now) {
-  const std::uint64_t old_alive = count(t_alive_);
+  const std::uint64_t old_alive = t_alive_.count();
   s_ = sn_;
   t_alive_ = tn_;
-  const std::uint64_t new_alive = std::max<std::uint64_t>(1, count(t_alive_));
+  const std::uint64_t new_alive = std::max<std::uint64_t>(1, t_alive_.count());
 
   if (old_alive > 2 * new_alive) {
     // Figure 4 lines 11-13: more than half the processes died this phase;
     // hand the leftovers to Protocol A (work-optimal regardless of failure
     // pattern) rather than risking the adaptive-adversary lower bound.
     std::vector<std::int64_t> units;
-    for (std::int64_t u = 1; u <= n_; ++u)
-      if (s_[static_cast<std::size_t>(u - 1)]) units.push_back(u);
-    if (units.empty() || !t_alive_[static_cast<std::size_t>(self_)]) {
+    for (std::size_t i = s_.find_next(0); i < s_.size(); i = s_.find_next(i + 1))
+      units.push_back(static_cast<std::int64_t>(i) + 1);
+    if (units.empty() || !t_alive_.test(static_cast<std::size_t>(self_))) {
       terminated_ = true;
       phase_kind_ = PhaseKind::kFinished;
       return;
@@ -87,7 +82,7 @@ void ProtocolDProcess::finish_agree(const Round& now) {
     rank_to_id_.clear();
     id_to_rank_.assign(static_cast<std::size_t>(t_), -1);
     for (int i = 0; i < t_; ++i) {
-      if (t_alive_[static_cast<std::size_t>(i)]) {
+      if (t_alive_.test(static_cast<std::size_t>(i))) {
         id_to_rank_[static_cast<std::size_t>(i)] = static_cast<int>(rank_to_id_.size());
         rank_to_id_.push_back(i);
       }
@@ -99,7 +94,7 @@ void ProtocolDProcess::finish_agree(const Round& now) {
     phase_kind_ = PhaseKind::kRevertA;
     return;
   }
-  if (count(s_) == 0 || !t_alive_[static_cast<std::size_t>(self_)]) {
+  if (s_.none() || !t_alive_.test(static_cast<std::size_t>(self_))) {
     terminated_ = true;
     phase_kind_ = PhaseKind::kFinished;
     return;
@@ -108,7 +103,7 @@ void ProtocolDProcess::finish_agree(const Round& now) {
   grace_ = 1;  // later phases absorb the <=1 round skew from done-adoption
   phase_kind_ = PhaseKind::kWork;
   work_entered_ = false;
-  seen_.clear();
+  std::fill(seen_.begin(), seen_.end(), nullptr);
 }
 
 Action ProtocolDProcess::on_round(const RoundContext& ctx, const std::vector<Envelope>& inbox) {
@@ -135,7 +130,8 @@ Action ProtocolDProcess::on_round(const RoundContext& ctx, const std::vector<Env
   // when a peer finished the previous agreement before us).
   for (const Envelope& env : inbox) {
     if (const auto* m = env.as<AgreeMsg>(); m != nullptr && m->phase == phase_)
-      seen_[env.from] = std::static_pointer_cast<const AgreeMsg>(env.payload);
+      seen_[static_cast<std::size_t>(env.from)] =
+          std::static_pointer_cast<const AgreeMsg>(env.payload);
   }
 
   if (phase_kind_ == PhaseKind::kWork) {
@@ -156,8 +152,9 @@ Action ProtocolDProcess::on_round(const RoundContext& ctx, const std::vector<Env
   // Agreement phase, receive-check for iteration iter_ (peers' iteration-k
   // broadcasts arrive one simulator round after they were sent).
   bool adopted = false;
-  for (const auto& [i, msg] : seen_) {
-    if (msg->done) {
+  for (int i = 0; i < t_; ++i) {
+    const auto& msg = seen_[static_cast<std::size_t>(i)];
+    if (msg && msg->done) {
       sn_ = msg->s_left;
       tn_ = msg->t_alive;
       adopted = true;
@@ -166,20 +163,23 @@ Action ProtocolDProcess::on_round(const RoundContext& ctx, const std::vector<Env
   }
   bool removed_any = false;
   if (!adopted) {
-    for (const auto& [i, msg] : seen_) {
-      for (std::size_t k = 0; k < sn_.size(); ++k) sn_[k] &= msg->s_left[k];
-      for (std::size_t k = 0; k < tn_.size(); ++k) tn_[k] |= msg->t_alive[k];
+    for (int i = 0; i < t_; ++i) {
+      const auto& msg = seen_[static_cast<std::size_t>(i)];
+      if (!msg) continue;
+      sn_ &= msg->s_left;
+      tn_ |= msg->t_alive;
     }
     if (iter_ >= grace_) {
       for (int i = 0; i < t_; ++i) {
-        if (i != self_ && u_[static_cast<std::size_t>(i)] && seen_.find(i) == seen_.end()) {
-          u_[static_cast<std::size_t>(i)] = 0;  // silent => crashed
+        if (i != self_ && u_.test(static_cast<std::size_t>(i)) &&
+            !seen_[static_cast<std::size_t>(i)]) {
+          u_.reset(static_cast<std::size_t>(i));  // silent => crashed
           removed_any = true;
         }
       }
     }
   }
-  seen_.clear();
+  std::fill(seen_.begin(), seen_.end(), nullptr);
   const bool stable = !removed_any && iter_ >= grace_;
   ++iter_;
 

@@ -24,21 +24,24 @@
 // the <=1 round of skew left by done-adoption (the paper's "grace round").
 #pragma once
 
-#include <map>
 #include <memory>
 
 #include "core/work.h"
 #include "protocols/protocol_a.h"
 #include "sim/process.h"
+#include "util/bitset.h"
 
 namespace dowork {
 
+// Views are word-packed (util/bitset.h): an agreement iteration merges up
+// to t of these per recipient, so the packing is what keeps the scale
+// sweep's t = 1024 shape affordable.
 struct AgreeMsg final : Payload {
-  int phase;                          // work/agreement phase number, 1-based
-  std::vector<std::uint8_t> s_left;   // outstanding units, indexed unit-1
-  std::vector<std::uint8_t> t_alive;  // processes believed correct
+  int phase;          // work/agreement phase number, 1-based
+  DynBitset s_left;   // outstanding units, indexed unit-1
+  DynBitset t_alive;  // processes believed correct
   bool done;
-  AgreeMsg(int ph, std::vector<std::uint8_t> s, std::vector<std::uint8_t> t, bool d)
+  AgreeMsg(int ph, DynBitset s, DynBitset t, bool d)
       : phase(ph), s_left(std::move(s)), t_alive(std::move(t)), done(d) {}
 };
 
@@ -60,7 +63,6 @@ class ProtocolDProcess final : public IProcess {
   void enter_agree_phase(const Round& now);
   Action agree_broadcast(bool done);
   void finish_agree(const Round& now);
-  std::uint64_t count(const std::vector<std::uint8_t>& bits) const;
 
   std::int64_t n_;
   int t_;
@@ -68,8 +70,8 @@ class ProtocolDProcess final : public IProcess {
 
   PhaseKind phase_kind_ = PhaseKind::kWork;
   int phase_ = 1;
-  std::vector<std::uint8_t> s_;  // outstanding units (unit u -> s_[u-1])
-  std::vector<std::uint8_t> t_alive_;
+  DynBitset s_;  // outstanding units (unit u -> s_[u-1])
+  DynBitset t_alive_;
 
   // Work-phase state.
   std::vector<std::int64_t> my_slice_;
@@ -78,13 +80,16 @@ class ProtocolDProcess final : public IProcess {
   bool work_entered_ = false;
 
   // Agreement-phase state (pipelined; see header comment).
-  std::vector<std::uint8_t> u_;   // not yet known faulty this phase
-  std::vector<std::uint8_t> tn_;  // T being accumulated
-  std::vector<std::uint8_t> sn_;  // S being intersected
+  DynBitset u_;   // not yet known faulty this phase
+  DynBitset tn_;  // T being accumulated
+  DynBitset sn_;  // S being intersected
   int iter_ = 0;
   int grace_ = 0;
   bool done_ = false;
-  std::map<int, std::shared_ptr<const AgreeMsg>> seen_;  // since last check
+  // This phase's broadcasts, indexed by sender (null = silent); a flat
+  // array instead of a map keeps the per-iteration bookkeeping O(t) with no
+  // node allocation.
+  std::vector<std::shared_ptr<const AgreeMsg>> seen_;
 
   // Revert path.  The paper's case-2 bounds assume Protocol A runs over the
   // surviving processes only, so the embedded instance uses rank-in-T ids;

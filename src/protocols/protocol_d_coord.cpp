@@ -13,34 +13,28 @@ constexpr std::uint64_t kResumeAt = 8;    // next work phase at R + 8
 ProtocolDCoordProcess::ProtocolDCoordProcess(const DoAllConfig& cfg, int self)
     : n_(cfg.n), t_(cfg.t), self_(self) {
   cfg.validate();
-  s_.assign(static_cast<std::size_t>(n_), 1);
-  t_alive_.assign(static_cast<std::size_t>(t_), 1);
-}
-
-std::uint64_t ProtocolDCoordProcess::count(const std::vector<std::uint8_t>& bits) const {
-  std::uint64_t c = 0;
-  for (std::uint8_t b : bits) c += b;
-  return c;
+  s_ = DynBitset(static_cast<std::size_t>(n_), true);
+  t_alive_ = DynBitset(static_cast<std::size_t>(t_), true);
+  seen_.assign(static_cast<std::size_t>(t_), nullptr);
 }
 
 int ProtocolDCoordProcess::coordinator() const {
-  for (int i = 0; i < t_; ++i)
-    if (t_alive_[static_cast<std::size_t>(i)]) return i;
-  return 0;
+  const std::size_t first = t_alive_.find_next(0);
+  return first < t_alive_.size() ? static_cast<int>(first) : 0;
 }
 
 void ProtocolDCoordProcess::enter_work_phase(const Round& now) {
   std::vector<std::int64_t> outstanding;
-  for (std::int64_t u = 1; u <= n_; ++u)
-    if (s_[static_cast<std::size_t>(u - 1)]) outstanding.push_back(u);
-  const std::uint64_t alive = std::max<std::uint64_t>(1, count(t_alive_));
+  for (std::size_t i = s_.find_next(0); i < s_.size(); i = s_.find_next(i + 1))
+    outstanding.push_back(static_cast<std::int64_t>(i) + 1);
+  const std::uint64_t alive = std::max<std::uint64_t>(1, t_alive_.count());
   const std::int64_t w = ceil_div(static_cast<std::int64_t>(outstanding.size()),
                                   static_cast<std::int64_t>(alive));
   my_slice_.clear();
   slice_pos_ = 0;
-  if (t_alive_[static_cast<std::size_t>(self_)]) {
-    std::int64_t rank = 0;
-    for (int i = 0; i < self_; ++i) rank += t_alive_[static_cast<std::size_t>(i)];
+  if (t_alive_.test(static_cast<std::size_t>(self_))) {
+    const std::int64_t rank =
+        static_cast<std::int64_t>(t_alive_.count_prefix(static_cast<std::size_t>(self_)));
     const std::int64_t from = rank * w;
     const std::int64_t to =
         std::min<std::int64_t>(from + w, static_cast<std::int64_t>(outstanding.size()));
@@ -48,29 +42,29 @@ void ProtocolDCoordProcess::enter_work_phase(const Round& now) {
       my_slice_.push_back(outstanding[static_cast<std::size_t>(k)]);
   }
   work_end_ = now + Round{static_cast<std::uint64_t>(w)};
-  for (std::int64_t u : my_slice_) s_[static_cast<std::size_t>(u - 1)] = 0;
+  for (std::int64_t u : my_slice_) s_.reset(static_cast<std::size_t>(u - 1));
 }
 
 Action ProtocolDCoordProcess::broadcast_view(bool done) {
   Action a;
   auto payload = std::make_shared<AgreeMsg>(phase_, sn_, tn_, done);
   for (int i = 0; i < t_; ++i)
-    if (i != self_ && t_alive_[static_cast<std::size_t>(i)])
+    if (i != self_ && t_alive_.test(static_cast<std::size_t>(i)))
       a.sends.push_back(Outgoing{i, MsgKind::kAgreement, payload});
   return a;
 }
 
 void ProtocolDCoordProcess::finish_phase(const Round& now) {
-  const std::uint64_t old_alive = count(t_alive_);
+  const std::uint64_t old_alive = t_alive_.count();
   s_ = sn_;
   t_alive_ = tn_;
-  const std::uint64_t new_alive = std::max<std::uint64_t>(1, count(t_alive_));
+  const std::uint64_t new_alive = std::max<std::uint64_t>(1, t_alive_.count());
 
   if (old_alive > 2 * new_alive) {
     std::vector<std::int64_t> units;
-    for (std::int64_t u = 1; u <= n_; ++u)
-      if (s_[static_cast<std::size_t>(u - 1)]) units.push_back(u);
-    if (units.empty() || !t_alive_[static_cast<std::size_t>(self_)]) {
+    for (std::size_t i = s_.find_next(0); i < s_.size(); i = s_.find_next(i + 1))
+      units.push_back(static_cast<std::int64_t>(i) + 1);
+    if (units.empty() || !t_alive_.test(static_cast<std::size_t>(self_))) {
       terminated_ = true;
       phase_kind_ = PhaseKind::kFinished;
       return;
@@ -78,7 +72,7 @@ void ProtocolDCoordProcess::finish_phase(const Round& now) {
     rank_to_id_.clear();
     id_to_rank_.assign(static_cast<std::size_t>(t_), -1);
     for (int i = 0; i < t_; ++i) {
-      if (t_alive_[static_cast<std::size_t>(i)]) {
+      if (t_alive_.test(static_cast<std::size_t>(i))) {
         id_to_rank_[static_cast<std::size_t>(i)] = static_cast<int>(rank_to_id_.size());
         rank_to_id_.push_back(i);
       }
@@ -90,7 +84,7 @@ void ProtocolDCoordProcess::finish_phase(const Round& now) {
     phase_kind_ = PhaseKind::kRevertA;
     return;
   }
-  if (count(s_) == 0 || !t_alive_[static_cast<std::size_t>(self_)]) {
+  if (s_.none() || !t_alive_.test(static_cast<std::size_t>(self_))) {
     terminated_ = true;
     phase_kind_ = PhaseKind::kFinished;
     return;
@@ -98,7 +92,7 @@ void ProtocolDCoordProcess::finish_phase(const Round& now) {
   ++phase_;
   phase_kind_ = PhaseKind::kWork;
   work_entered_ = false;
-  seen_.clear();
+  std::fill(seen_.begin(), seen_.end(), nullptr);
 }
 
 Action ProtocolDCoordProcess::on_round(const RoundContext& ctx,
@@ -123,7 +117,8 @@ Action ProtocolDCoordProcess::on_round(const RoundContext& ctx,
 
   for (const Envelope& env : inbox) {
     if (const auto* m = env.as<AgreeMsg>(); m != nullptr && m->phase == phase_)
-      seen_[env.from] = std::static_pointer_cast<const AgreeMsg>(env.payload);
+      seen_[static_cast<std::size_t>(env.from)] =
+          std::static_pointer_cast<const AgreeMsg>(env.payload);
   }
 
   if (phase_kind_ == PhaseKind::kWork) {
@@ -139,8 +134,8 @@ Action ProtocolDCoordProcess::on_round(const RoundContext& ctx,
     // Agreement entry at R = work_end_.
     agr_entry_ = ctx.round;
     sn_ = s_;
-    tn_.assign(static_cast<std::size_t>(t_), 0);
-    tn_[static_cast<std::size_t>(self_)] = 1;
+    tn_ = DynBitset(static_cast<std::size_t>(t_));
+    tn_.set(static_cast<std::size_t>(self_));
     resume_at_ = agr_entry_ + Round{kResumeAt};
     responded_ = false;
     in_fallback_ = false;
@@ -159,11 +154,12 @@ Action ProtocolDCoordProcess::on_round(const RoundContext& ctx,
   if (phase_kind_ == PhaseKind::kAgrCoord) {
     if (ctx.round < agr_entry_ + Round{kCollectAt}) return Action::none();
     // Finalize: merge every report seen and broadcast the final view.
-    for (const auto& [i, msg] : seen_) {
-      for (std::size_t k = 0; k < sn_.size(); ++k) sn_[k] &= msg->s_left[k];
-      for (std::size_t k = 0; k < tn_.size(); ++k) tn_[k] |= msg->t_alive[k];
+    for (const auto& msg : seen_) {
+      if (!msg) continue;
+      sn_ &= msg->s_left;
+      tn_ |= msg->t_alive;
     }
-    seen_.clear();
+    std::fill(seen_.begin(), seen_.end(), nullptr);
     Action a = broadcast_view(true);
     phase_kind_ = PhaseKind::kAgrListen;  // wait out the fallback window
     responded_ = true;                    // the final broadcast already went out
@@ -171,11 +167,11 @@ Action ProtocolDCoordProcess::on_round(const RoundContext& ctx,
   }
 
   if (phase_kind_ == PhaseKind::kAgrAwait) {
-    for (const auto& [i, msg] : seen_) {
-      if (msg->done) {
+    for (const auto& msg : seen_) {
+      if (msg && msg->done) {
         sn_ = msg->s_left;
         tn_ = msg->t_alive;
-        seen_.clear();
+        std::fill(seen_.begin(), seen_.end(), nullptr);
         phase_kind_ = PhaseKind::kAgrListen;
         return Action::none();
       }
@@ -187,10 +183,10 @@ Action ProtocolDCoordProcess::on_round(const RoundContext& ctx,
       in_fallback_ = true;
       u_ = t_alive_;
       sn_ = s_;
-      tn_.assign(static_cast<std::size_t>(t_), 0);
-      tn_[static_cast<std::size_t>(self_)] = 1;
+      tn_ = DynBitset(static_cast<std::size_t>(t_));
+      tn_.set(static_cast<std::size_t>(self_));
       iter_ = 0;
-      seen_.clear();
+      std::fill(seen_.begin(), seen_.end(), nullptr);
       return broadcast_view(false);
     }
     return Action::none();
@@ -200,9 +196,9 @@ Action ProtocolDCoordProcess::on_round(const RoundContext& ctx,
     // An adopter that hears fallback traffic re-broadcasts the final view;
     // the fallback's done-adoption then re-unifies everyone.
     bool fallback_heard = false;
-    for (const auto& [i, msg] : seen_)
-      if (!msg->done) fallback_heard = true;
-    seen_.clear();
+    for (const auto& msg : seen_)
+      if (msg && !msg->done) fallback_heard = true;
+    std::fill(seen_.begin(), seen_.end(), nullptr);
     if (fallback_heard && !responded_) {
       responded_ = true;
       return broadcast_view(true);
@@ -226,8 +222,9 @@ Action ProtocolDCoordProcess::on_round(const RoundContext& ctx,
 
   // kAgrFallback: pipelined broadcast agreement with grace 2.
   bool adopted = false;
-  for (const auto& [i, msg] : seen_) {
-    if (msg->done) {
+  for (int i = 0; i < t_; ++i) {
+    const auto& msg = seen_[static_cast<std::size_t>(i)];
+    if (msg && msg->done) {
       sn_ = msg->s_left;
       tn_ = msg->t_alive;
       adopted = true;
@@ -236,20 +233,23 @@ Action ProtocolDCoordProcess::on_round(const RoundContext& ctx,
   }
   bool removed_any = false;
   if (!adopted) {
-    for (const auto& [i, msg] : seen_) {
-      for (std::size_t k = 0; k < sn_.size(); ++k) sn_[k] &= msg->s_left[k];
-      for (std::size_t k = 0; k < tn_.size(); ++k) tn_[k] |= msg->t_alive[k];
+    for (int i = 0; i < t_; ++i) {
+      const auto& msg = seen_[static_cast<std::size_t>(i)];
+      if (!msg) continue;
+      sn_ &= msg->s_left;
+      tn_ |= msg->t_alive;
     }
     if (iter_ >= 2) {
       for (int i = 0; i < t_; ++i) {
-        if (i != self_ && u_[static_cast<std::size_t>(i)] && seen_.find(i) == seen_.end()) {
-          u_[static_cast<std::size_t>(i)] = 0;
+        if (i != self_ && u_.test(static_cast<std::size_t>(i)) &&
+            !seen_[static_cast<std::size_t>(i)]) {
+          u_.reset(static_cast<std::size_t>(i));
           removed_any = true;
         }
       }
     }
   }
-  seen_.clear();
+  std::fill(seen_.begin(), seen_.end(), nullptr);
   const bool stable = !removed_any && iter_ >= 2;
   ++iter_;
   if (adopted || stable) {
@@ -257,7 +257,7 @@ Action ProtocolDCoordProcess::on_round(const RoundContext& ctx,
     {
       auto payload = std::make_shared<AgreeMsg>(phase_, sn_, tn_, true);
       for (int i = 0; i < t_; ++i)
-        if (i != self_ && u_[static_cast<std::size_t>(i)])
+        if (i != self_ && u_.test(static_cast<std::size_t>(i)))
           a.sends.push_back(Outgoing{i, MsgKind::kAgreement, payload});
     }
     Round finish_next = ctx.round + Round{1};
@@ -269,7 +269,7 @@ Action ProtocolDCoordProcess::on_round(const RoundContext& ctx,
   Action a;
   auto payload = std::make_shared<AgreeMsg>(phase_, sn_, tn_, false);
   for (int i = 0; i < t_; ++i)
-    if (i != self_ && u_[static_cast<std::size_t>(i)])
+    if (i != self_ && u_.test(static_cast<std::size_t>(i)))
       a.sends.push_back(Outgoing{i, MsgKind::kAgreement, payload});
   return a;
 }

@@ -28,6 +28,7 @@
 #pragma once
 
 #include "protocols/protocol_d.h"
+#include "util/bitset.h"
 
 namespace dowork {
 
@@ -47,7 +48,6 @@ class ProtocolDCoordProcess final : public IProcess {
   void enter_work_phase(const Round& now);
   Action broadcast_view(bool done);
   void finish_phase(const Round& now);
-  std::uint64_t count(const std::vector<std::uint8_t>& bits) const;
 
   std::int64_t n_;
   int t_;
@@ -55,7 +55,7 @@ class ProtocolDCoordProcess final : public IProcess {
 
   PhaseKind phase_kind_ = PhaseKind::kWork;
   int phase_ = 1;
-  std::vector<std::uint8_t> s_, t_alive_;
+  DynBitset s_, t_alive_;  // word-packed views, as in protocol_d.h
 
   std::vector<std::int64_t> my_slice_;
   std::size_t slice_pos_ = 0;
@@ -63,8 +63,10 @@ class ProtocolDCoordProcess final : public IProcess {
   bool work_entered_ = false;
 
   // Agreement state.
-  std::vector<std::uint8_t> u_, tn_, sn_;
-  std::map<int, std::shared_ptr<const AgreeMsg>> seen_;
+  DynBitset u_, tn_, sn_;
+  // This phase's messages, indexed by sender (null = silent); flat array
+  // for the same O(t)-no-allocation reason as in protocol_d.h.
+  std::vector<std::shared_ptr<const AgreeMsg>> seen_;
   Round agr_entry_;        // R
   bool report_sent_ = false;
   bool final_broadcast_ = false;

@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <type_traits>
+#include <typeinfo>
 #include <vector>
 
 #include "util/biguint.h"
@@ -31,8 +33,20 @@ enum class MsgKind : std::uint8_t {
 
 const char* to_string(MsgKind k);
 
-// Base class for protocol payloads.  Payloads are immutable after send and
-// shared between the copies delivered to each recipient of a broadcast.
+// Base class for protocol payloads.
+//
+// Ownership rules (the simulator hot path depends on these):
+//   * A broadcast allocates its payload ONCE; every Outgoing of the
+//     broadcast and every delivered Envelope holds a shared_ptr to the same
+//     const object.  The simulator never clones a payload -- it moves the
+//     sender's reference into the recipient's envelope -- so sending to t
+//     recipients costs t pointer copies, not t payload copies
+//     (sim_test.cpp's PayloadSharing pins this down).
+//   * Payloads are immutable after send: they are typed `const` end to end,
+//     and because all recipients alias one object, any mutation would be a
+//     cross-process side channel the model forbids.
+//   * A recipient that wants a payload beyond its on_round call copies the
+//     shared_ptr (see the inbox reuse contract in process.h).
 struct Payload {
   virtual ~Payload() = default;
 };
@@ -54,10 +68,17 @@ struct Envelope {
   std::shared_ptr<const Payload> payload;
 
   // Convenience downcast; returns nullptr if the payload has a different
-  // dynamic type.
+  // dynamic type.  Exact-type matching (every payload struct is final, and
+  // receipt code always asks for the concrete type), so this is a typeid
+  // comparison -- one pointer/string check -- rather than a dynamic_cast
+  // graph walk; ingest runs once per delivered envelope, which makes this
+  // the hottest cast in the simulator.
   template <typename T>
   const T* as() const {
-    return dynamic_cast<const T*>(payload.get());
+    static_assert(std::is_final_v<T>, "as<T> matches exact dynamic types only");
+    const Payload* p = payload.get();
+    if (p == nullptr || typeid(*p) != typeid(T)) return nullptr;
+    return static_cast<const T*>(p);
   }
 };
 

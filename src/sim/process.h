@@ -45,12 +45,26 @@ class IProcess {
   // Called when the process is scheduled in a round: either its wake time
   // arrived or the inbox is non-empty.  `inbox` holds every message sent to
   // it in the previous round (empty vector otherwise).
+  //
+  // Inbox reuse contract: the vector (and its Envelopes) is owned by the
+  // simulator and recycled the moment on_round returns.  A process that
+  // wants to keep a payload beyond the call must copy the Envelope's
+  // shared_ptr (cheap -- payloads are refcount-shared, never cloned); it
+  // must not retain references or pointers into the inbox itself.
   virtual Action on_round(const RoundContext& ctx, const std::vector<Envelope>& inbox) = 0;
 
   // Earliest round >= `now` at which the process wants to be scheduled if it
   // receives no further messages; never_round() if it is purely reactive.
   // Used by the simulator to fast-forward over idle stretches (essential for
   // Protocol C, whose deadlines are exponential in n+t).
+  //
+  // Contract: next_wake must be a pure function of the process state, and
+  // monotone in `now` -- for now' >= now, next_wake(now') ==
+  // max(next_wake(now), now').  Equivalently, the process holds an internal
+  // deadline D fixed between on_round calls and answers max(D, now).  The
+  // simulator relies on this to query next_wake exactly once per step and
+  // cache the answer in its wake queue (simulator.h) instead of re-asking
+  // every process every round.
   virtual Round next_wake(const Round& now) const = 0;
 
   // Diagnostic label.

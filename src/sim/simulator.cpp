@@ -1,5 +1,6 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 
@@ -13,10 +14,12 @@ Round never_round() {
 }
 
 namespace {
+
 const Round& never() {
   static const Round r = never_round();
   return r;
 }
+
 }  // namespace
 
 Simulator::Simulator(std::vector<std::unique_ptr<IProcess>> processes,
@@ -24,17 +27,66 @@ Simulator::Simulator(std::vector<std::unique_ptr<IProcess>> processes,
     : procs_(std::move(processes)), faults_(std::move(faults)), opt_(options) {
   const std::size_t t = procs_.size();
   state_.assign(t, ProcState::kAlive);
+  alive_ = static_cast<int>(t);
   inbox_.assign(t, {});
+  wake_.assign(t, Round{});
+  queued_.assign(t, 0);
+  heap_has_.assign(t, 0);
+  heap_.reserve(t + 16);
   metrics_.work_by_proc.assign(t, 0);
   metrics_.messages_by_proc.assign(t, 0);
   metrics_.unit_multiplicity.assign(static_cast<std::size_t>(opt_.n_units), 0);
 }
 
-int Simulator::alive_count() const {
-  int n = 0;
-  for (ProcState s : state_)
-    if (s == ProcState::kAlive) ++n;
-  return n;
+void Simulator::retire(std::size_t p, ProcState to) {
+  state_[p] = to;
+  --alive_;
+}
+
+void Simulator::reschedule(std::size_t p, const Round& now) {
+  Round w = procs_[p]->next_wake(now);
+  if (w < now) w = now;  // a process may not schedule itself in the past
+  if (w == now) {
+    // Fast path for the overwhelmingly common answer "step me again next
+    // round" (every active process): a plain list instead of heap traffic.
+    // Any previous heap entry for p turns stale (it no longer matches
+    // wake_[p] when popped).
+    wake_[p] = std::move(w);
+    heap_has_[p] = 0;
+    if (!queued_[p]) {
+      queued_[p] = 1;
+      next_step_.push_back(static_cast<int>(p));
+    }
+    return;
+  }
+  // Unchanged wake with its entry still queued: nothing to do.  (The entry
+  // cannot have been consumed or gone stale -- due entries pop only in the
+  // round they fire, after which the re-queried wake necessarily moves
+  // forward, and staleness requires wake_[p] to have changed.)  This is what
+  // keeps a passive process cheap when every broadcast lands in its inbox:
+  // its deadline is re-announced each step but queued only once.
+  if (heap_has_[p] && w == wake_[p]) return;
+  wake_[p] = w;
+  // Purely reactive processes (wake == never) are woken by mail alone and
+  // carry no heap entry; everyone else gets a fresh entry.
+  if (w != never()) {
+    heap_.push_back(WakeEntry{std::move(w), static_cast<int>(p)});
+    std::push_heap(heap_.begin(), heap_.end(), &Simulator::wake_later);
+    heap_has_[p] = 1;
+  } else {
+    heap_has_[p] = 0;
+  }
+}
+
+const Round* Simulator::peek_min_wake() {
+  while (!heap_.empty()) {
+    const WakeEntry& top = heap_.front();
+    const std::size_t p = static_cast<std::size_t>(top.proc);
+    if (state_[p] == ProcState::kAlive && wake_[p] == top.wake) return &top.wake;
+    std::pop_heap(heap_.begin(), heap_.end(), &Simulator::wake_later);
+    heap_.pop_back();
+  }
+  return nullptr;
 }
 
 void Simulator::validate_strict(int proc, const Action& a) const {
@@ -57,75 +109,82 @@ void Simulator::validate_strict(int proc, const Action& a) const {
                            " emitted more than one broadcast in one round");
 }
 
+void Simulator::step_proc(std::size_t p, const Round& r, const Round& next_r) {
+  RoundContext ctx{r, static_cast<int>(p)};
+  Action a = procs_[p]->on_round(ctx, inbox_[p]);
+  inbox_[p].clear();  // capacity is kept; the buffer is reused next delivery
+  if (opt_.strict_one_op) validate_strict(static_cast<int>(p), a);
+
+  SimSnapshot snap{static_cast<int>(procs_.size()), alive_, static_cast<int>(metrics_.crashes)};
+  std::optional<CrashPlan> plan = faults_->inspect(static_cast<int>(p), r, a, snap);
+  if (plan && snap.alive <= 1) plan.reset();  // the last survivor never crashes
+
+  const bool work_done = a.work && (!plan || plan->work_completes);
+  if (work_done) {
+    ++metrics_.work_total;
+    ++metrics_.work_by_proc[p];
+    if (*a.work >= 1 && *a.work <= opt_.n_units)
+      ++metrics_.unit_multiplicity[static_cast<std::size_t>(*a.work - 1)];
+    if (work_sink_) work_sink_(static_cast<int>(p), *a.work, r);
+  }
+
+  const std::size_t deliver =
+      plan ? std::min(plan->deliver_prefix, a.sends.size()) : a.sends.size();
+  for (std::size_t s = 0; s < deliver; ++s) {
+    Outgoing& o = a.sends[s];
+    if (o.to < 0 || o.to >= static_cast<int>(procs_.size()))
+      throw std::logic_error("send to nonexistent process " + std::to_string(o.to));
+    ++metrics_.messages_total;
+    ++metrics_.messages_by_proc[p];
+    ++metrics_.messages_by_kind[static_cast<std::size_t>(o.kind)];
+    // Sends to already-retired processes still count (they were emitted);
+    // the delivery drain re-checks recipient state next round, which also
+    // drops messages whose recipient retires later this round.  The payload
+    // pointer is moved, not copied: a broadcast's recipients share one
+    // refcounted payload end to end.
+    in_flight_.push_back(Envelope{static_cast<int>(p), o.to, o.kind, r, std::move(o.payload)});
+  }
+
+  if (plan) {
+    retire(p, ProcState::kCrashed);
+    ++metrics_.crashes;
+  } else if (a.terminate) {
+    retire(p, ProcState::kTerminated);
+    ++metrics_.terminated;
+  } else {
+    reschedule(p, next_r);
+  }
+}
+
 void Simulator::step_round(const Round& r) {
-  std::vector<Envelope> staging;
-  std::uint64_t workers_this_round = 0;
-
-  for (std::size_t p = 0; p < procs_.size(); ++p) {
-    if (state_[p] != ProcState::kAlive) continue;
-    const bool has_mail = !inbox_[p].empty();
-    if (!has_mail && procs_[p]->next_wake(r) > r) continue;
-
-    RoundContext ctx{r, static_cast<int>(p)};
-    Action a = procs_[p]->on_round(ctx, inbox_[p]);
-    inbox_[p].clear();
-    if (opt_.strict_one_op) validate_strict(static_cast<int>(p), a);
-
-    SimSnapshot snap{static_cast<int>(procs_.size()), alive_count(),
-                     static_cast<int>(metrics_.crashes)};
-    std::optional<CrashPlan> plan = faults_->inspect(static_cast<int>(p), r, a, snap);
-    if (plan && snap.alive <= 1) plan.reset();  // the last survivor never crashes
-
-    const bool work_done = a.work && (!plan || plan->work_completes);
-    if (work_done) {
-      ++metrics_.work_total;
-      ++metrics_.work_by_proc[p];
-      ++workers_this_round;
-      if (*a.work >= 1 && *a.work <= opt_.n_units)
-        ++metrics_.unit_multiplicity[static_cast<std::size_t>(*a.work - 1)];
-      if (work_sink_) work_sink_(static_cast<int>(p), *a.work, r);
-    }
-
-    const std::size_t deliver =
-        plan ? std::min(plan->deliver_prefix, a.sends.size()) : a.sends.size();
-    for (std::size_t s = 0; s < deliver; ++s) {
-      const Outgoing& o = a.sends[s];
-      if (o.to < 0 || o.to >= static_cast<int>(procs_.size()))
-        throw std::logic_error("send to nonexistent process " + std::to_string(o.to));
-      ++metrics_.messages_total;
-      ++metrics_.messages_by_proc[p];
-      ++metrics_.messages_by_kind[static_cast<std::size_t>(o.kind)];
-      if (state_[static_cast<std::size_t>(o.to)] == ProcState::kAlive) {
-        staging.push_back(Envelope{static_cast<int>(p), o.to, o.kind, r, o.payload});
-      }
-      // Sends to retired processes still count (they were emitted) but are
-      // never delivered.
-    }
-
-    if (plan) {
-      state_[p] = ProcState::kCrashed;
-      ++metrics_.crashes;
-    } else if (a.terminate) {
-      state_[p] = ProcState::kTerminated;
-      ++metrics_.terminated;
-    }
+  const std::uint64_t workers_before = metrics_.work_total;
+  const Round next_r = r + Round{1};  // one 512-bit add per round, not per step
+  for (int p : step_list_) {
+    queued_[static_cast<std::size_t>(p)] = 0;
+    if (state_[static_cast<std::size_t>(p)] != ProcState::kAlive) continue;
+    step_proc(static_cast<std::size_t>(p), r, next_r);
   }
-
-  metrics_.max_concurrent_workers = std::max(metrics_.max_concurrent_workers, workers_this_round);
-  for (Envelope& e : staging) {
-    if (state_[static_cast<std::size_t>(e.to)] == ProcState::kAlive)
-      in_flight_.push_back(std::move(e));
-  }
+  // All steps of a round are independent (sends land next round), so the
+  // concurrent-worker count is simply the work performed this round.
+  metrics_.max_concurrent_workers =
+      std::max(metrics_.max_concurrent_workers, metrics_.work_total - workers_before);
+  step_list_.clear();
 }
 
 RunMetrics Simulator::run() {
   if (ran_) throw std::logic_error("Simulator::run called twice");
   ran_ = true;
 
+  // Seed the wake cache: every process is asked once, up front, when it
+  // first wants to run; from here on next_wake is re-queried only after a
+  // step (the monotonicity contract in process.h makes the cache exact).
+  for (std::size_t p = 0; p < procs_.size(); ++p) reschedule(p, Round{0});
+
+  std::vector<Envelope> arriving;  // reused swap buffer for the delivery drain
   Round r = 0;
   while (true) {
     // Terminate when every process has retired.
-    if (alive_count() == 0) {
+    if (alive_ == 0) {
       metrics_.all_retired = true;
       break;
     }
@@ -134,47 +193,77 @@ RunMetrics Simulator::run() {
       break;
     }
 
+    // Processes that asked to run again this round were queued by
+    // reschedule's fast path last round (their queued_ flags are still set).
+    step_list_.swap(next_step_);
+
     // Deliver messages sent last stepped round (they were addressed to the
     // round immediately after their send round; fast-forward never skips
     // past deliveries because we only jump when in_flight_ is empty).
-    for (Envelope& e : in_flight_) inbox_[static_cast<std::size_t>(e.to)].push_back(std::move(e));
-    in_flight_.clear();
+    // swap + clear reuses both buffers' capacity round over round.
+    arriving.swap(in_flight_);
+    for (Envelope& e : arriving) {
+      const std::size_t to = static_cast<std::size_t>(e.to);
+      if (state_[to] != ProcState::kAlive) continue;
+      if (!queued_[to]) {
+        queued_[to] = 1;
+        step_list_.push_back(e.to);
+      }
+      inbox_[to].push_back(std::move(e));
+    }
+    arriving.clear();
 
-    metrics_.available_processor_steps += Round{static_cast<std::uint64_t>(alive_count())};
+    // Processes whose wake time arrived join the recipients of mail.
+    while (const Round* min_wake = peek_min_wake()) {
+      if (*min_wake > r) break;
+      const int p = heap_.front().proc;
+      std::pop_heap(heap_.begin(), heap_.end(), &Simulator::wake_later);
+      heap_.pop_back();
+      if (!queued_[static_cast<std::size_t>(p)]) {
+        queued_[static_cast<std::size_t>(p)] = 1;
+        step_list_.push_back(p);
+      }
+    }
+    // Steps must run in ascending id order (the round contract).  The list
+    // is usually already sorted -- next_step_ fills in step order, mail in
+    // send order -- so check before paying for a sort.
+    if (!std::is_sorted(step_list_.begin(), step_list_.end()))
+      std::sort(step_list_.begin(), step_list_.end());
+
+    metrics_.available_processor_steps += Round{static_cast<std::uint64_t>(alive_)};
     step_round(r);
     ++metrics_.stepped_rounds;
     metrics_.last_retire_round = r;
 
-    if (alive_count() == 0) {
+    if (alive_ == 0) {
       metrics_.all_retired = true;
       break;
     }
 
-    if (!in_flight_.empty()) {
+    if (!in_flight_.empty() || !next_step_.empty()) {
       r += 1;
       continue;
     }
     // Fast-forward: jump to the earliest wake time over live processes.
-    Round next = never();
-    Round lower = r + Round{1};
-    for (std::size_t p = 0; p < procs_.size(); ++p) {
-      if (state_[p] != ProcState::kAlive) continue;
-      Round w = procs_[p]->next_wake(lower);
-      if (w < lower) w = lower;  // a process may not schedule itself in the past
-      if (w < next) next = w;
-    }
-    if (next == never()) {
+    // Every live cached wake is > r here (due entries were popped above and
+    // next-round steppers were just checked), so the heap top is the exact
+    // minimum the old per-process scan computed.
+    const Round* min_wake = peek_min_wake();
+    if (min_wake == nullptr) {
       metrics_.deadlocked = true;  // live processes, no mail, no timers
       break;
     }
+    Round next = *min_wake;
+    const Round lower = r + Round{1};
+    if (next < lower) next = lower;
     if (next > lower) {
       ++metrics_.fast_forward_jumps;
       // Idle processes are charged by the available-processor-steps measure
       // even across fast-forwarded stretches.
       metrics_.available_processor_steps +=
-          (next - lower) * static_cast<std::uint64_t>(alive_count());
+          (next - lower) * static_cast<std::uint64_t>(alive_);
     }
-    r = next;
+    r = std::move(next);
   }
   return metrics_;
 }

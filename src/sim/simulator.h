@@ -14,6 +14,30 @@
 //
 // The run ends when every process has retired (crashed or terminated), or on
 // deadlock (nothing can ever happen again), or at the round cap.
+//
+// Hot-path design (see DESIGN.md "Simulator hot path"):
+//   * Scheduling is wake-queue driven, not scan driven.  IProcess::next_wake
+//     is monotone and only changes when the process is stepped (the contract
+//     in process.h), so the simulator queries it exactly once per step,
+//     caches the result in wake_[p], and keeps a lazy min-heap of
+//     (wake, proc) entries.  A round steps only the processes that received
+//     mail plus those popped from the heap -- O(steps * log t) instead of
+//     O(t) virtual calls with 512-bit arithmetic per round -- and
+//     fast-forward peeks the heap instead of rescanning every process.
+//     Stale heap entries (wake changed, process retired) are dropped on pop
+//     by comparing against wake_[p] and state_[p].
+//   * Delivery is O(messages) with no per-round heap churn: in_flight_ and
+//     the per-process inboxes are flat buffers whose capacity survives
+//     clear(), the payload shared_ptr is *moved* out of the sender's Action
+//     into the recipient envelope chain, and a broadcast's payload object is
+//     refcount-shared by every recipient (one allocation per broadcast,
+//     never one per recipient -- message.h documents the ownership rules).
+//   * alive_count() is an O(1) counter maintained on crash/terminate, not a
+//     scan; it is consulted once per stepping process for the fault
+//     injector's SimSnapshot.
+// None of this changes observable behavior: scheduling decisions, delivery
+// order and metrics are bit-for-bit those of the original O(t)-scan
+// simulator (tests/golden/ pins the JSON reports byte-for-byte).
 #pragma once
 
 #include <functional>
@@ -55,12 +79,33 @@ class Simulator {
 
   // Post-run inspection.
   ProcState state_of(int proc) const { return state_[static_cast<std::size_t>(proc)]; }
-  int alive_count() const;
+  int alive_count() const { return alive_; }
   const RunMetrics& metrics() const { return metrics_; }
 
  private:
+  // One lazy min-heap entry; stale when wake != wake_[proc] or the process
+  // has retired (checked on pop, never eagerly removed).
+  struct WakeEntry {
+    Round wake;
+    int proc;
+  };
+  // Min-heap order for std::push_heap/pop_heap (which build max-heaps, hence
+  // the inversion).  Ties pop in arbitrary order: all due entries of a round
+  // are collected and the step list is sorted by process id afterwards.
+  static bool wake_later(const WakeEntry& a, const WakeEntry& b) { return b.wake < a.wake; }
+
   void step_round(const Round& r);
+  void step_proc(std::size_t p, const Round& r, const Round& next_r);
   void validate_strict(int proc, const Action& a) const;
+  void retire(std::size_t p, ProcState to);
+  // Re-queries next_wake(now) for p (clamped forward to `now`) and updates
+  // the cache.  "Run again next round" answers go straight onto next_step_
+  // (no heap traffic -- the common case for active processes); wake == never
+  // means mail-only, no entry at all; everything else is heap-queued.
+  void reschedule(std::size_t p, const Round& now);
+  // Min wake over live processes as of the heap top, dropping stale entries;
+  // never_round() when no live process has a timer.
+  const Round* peek_min_wake();
 
   std::vector<std::unique_ptr<IProcess>> procs_;
   std::unique_ptr<FaultInjector> faults_;
@@ -68,8 +113,15 @@ class Simulator {
   WorkSink work_sink_;
 
   std::vector<ProcState> state_;
-  std::vector<std::vector<Envelope>> inbox_;    // delivered this round
-  std::vector<Envelope> in_flight_;             // sent this round, lands next
+  int alive_ = 0;
+  std::vector<std::vector<Envelope>> inbox_;  // delivered this round; reused buffers
+  std::vector<Envelope> in_flight_;           // sent this round, lands next; reused
+  std::vector<Round> wake_;                   // cached next_wake per process
+  std::vector<WakeEntry> heap_;               // lazy min-heap over wake_
+  std::vector<int> step_list_;                // processes to step this round; reused
+  std::vector<int> next_step_;                // fast path: wake == next round
+  std::vector<std::uint8_t> queued_;          // step/next-step membership flags
+  std::vector<std::uint8_t> heap_has_;        // heap holds an entry == wake_[p]
   RunMetrics metrics_;
   bool ran_ = false;
 };

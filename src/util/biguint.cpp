@@ -11,15 +11,10 @@ BigUint BigUint::pow2(unsigned e) {
   return r;
 }
 
-BigUint& BigUint::operator+=(const BigUint& rhs) {
-  unsigned __int128 carry = 0;
-  for (int i = 0; i < kLimbs; ++i) {
-    unsigned __int128 s = carry + limbs_[i] + rhs.limbs_[i];
-    limbs_[i] = static_cast<std::uint64_t>(s);
-    carry = s >> 64;
-  }
-  if (carry != 0) throw std::overflow_error("BigUint: addition overflow");
-  return *this;
+void BigUint::throw_add_overflow() { throw std::overflow_error("BigUint: addition overflow"); }
+
+void BigUint::throw_mul_overflow() {
+  throw std::overflow_error("BigUint: multiplication overflow");
 }
 
 BigUint& BigUint::operator-=(const BigUint& rhs) {
@@ -34,17 +29,6 @@ BigUint& BigUint::operator-=(const BigUint& rhs) {
     limbs_[i] = after;
   }
   if (borrow != 0) throw std::underflow_error("BigUint: subtraction underflow");
-  return *this;
-}
-
-BigUint& BigUint::operator*=(std::uint64_t rhs) {
-  unsigned __int128 carry = 0;
-  for (int i = 0; i < kLimbs; ++i) {
-    unsigned __int128 p = static_cast<unsigned __int128>(limbs_[i]) * rhs + carry;
-    limbs_[i] = static_cast<std::uint64_t>(p);
-    carry = p >> 64;
-  }
-  if (carry != 0) throw std::overflow_error("BigUint: multiplication overflow");
   return *this;
 }
 
@@ -76,30 +60,6 @@ BigUint& BigUint::operator<<=(unsigned sh) {
     limbs_[static_cast<size_t>(i)] = v;
   }
   return *this;
-}
-
-std::strong_ordering operator<=>(const BigUint& a, const BigUint& b) {
-  for (int i = BigUint::kLimbs - 1; i >= 0; --i) {
-    if (a.limbs_[static_cast<size_t>(i)] != b.limbs_[static_cast<size_t>(i)])
-      return a.limbs_[static_cast<size_t>(i)] <=> b.limbs_[static_cast<size_t>(i)];
-  }
-  return std::strong_ordering::equal;
-}
-
-bool BigUint::is_zero() const {
-  for (auto l : limbs_)
-    if (l != 0) return false;
-  return true;
-}
-
-bool BigUint::fits_u64() const {
-  for (int i = 1; i < kLimbs; ++i)
-    if (limbs_[static_cast<size_t>(i)] != 0) return false;
-  return true;
-}
-
-std::uint64_t BigUint::to_u64_saturating() const {
-  return fits_u64() ? limbs_[0] : UINT64_MAX;
 }
 
 std::string BigUint::to_string() const {

@@ -25,6 +25,10 @@ class BigUint {
   // 2^e.  Throws std::overflow_error if e >= 512.
   static BigUint pow2(unsigned e);
 
+  // The add/multiply/compare operators are defined inline below: round
+  // arithmetic sits on the simulator's scheduling hot path (wake-queue
+  // ordering, deadline math) and the call overhead of an out-of-line 8-limb
+  // loop is measurable at large t.
   BigUint& operator+=(const BigUint& rhs);
   BigUint& operator-=(const BigUint& rhs);  // throws std::underflow_error if rhs > *this
   BigUint& operator*=(std::uint64_t rhs);
@@ -52,8 +56,59 @@ class BigUint {
   int log2_floor() const;
 
  private:
+  [[noreturn]] static void throw_add_overflow();
+  [[noreturn]] static void throw_mul_overflow();
+
   std::array<std::uint64_t, kLimbs> limbs_;  // little-endian limbs
 };
+
+inline BigUint& BigUint::operator+=(const BigUint& rhs) {
+  unsigned __int128 carry = 0;
+  for (int i = 0; i < kLimbs; ++i) {
+    unsigned __int128 s = carry + limbs_[static_cast<std::size_t>(i)] +
+                          rhs.limbs_[static_cast<std::size_t>(i)];
+    limbs_[static_cast<std::size_t>(i)] = static_cast<std::uint64_t>(s);
+    carry = s >> 64;
+  }
+  if (carry != 0) throw_add_overflow();
+  return *this;
+}
+
+inline BigUint& BigUint::operator*=(std::uint64_t rhs) {
+  unsigned __int128 carry = 0;
+  for (int i = 0; i < kLimbs; ++i) {
+    unsigned __int128 p =
+        static_cast<unsigned __int128>(limbs_[static_cast<std::size_t>(i)]) * rhs + carry;
+    limbs_[static_cast<std::size_t>(i)] = static_cast<std::uint64_t>(p);
+    carry = p >> 64;
+  }
+  if (carry != 0) throw_mul_overflow();
+  return *this;
+}
+
+inline std::strong_ordering operator<=>(const BigUint& a, const BigUint& b) {
+  for (int i = BigUint::kLimbs - 1; i >= 0; --i) {
+    if (a.limbs_[static_cast<std::size_t>(i)] != b.limbs_[static_cast<std::size_t>(i)])
+      return a.limbs_[static_cast<std::size_t>(i)] <=> b.limbs_[static_cast<std::size_t>(i)];
+  }
+  return std::strong_ordering::equal;
+}
+
+inline bool BigUint::is_zero() const {
+  for (auto l : limbs_)
+    if (l != 0) return false;
+  return true;
+}
+
+inline bool BigUint::fits_u64() const {
+  for (int i = 1; i < kLimbs; ++i)
+    if (limbs_[static_cast<std::size_t>(i)] != 0) return false;
+  return true;
+}
+
+inline std::uint64_t BigUint::to_u64_saturating() const {
+  return fits_u64() ? limbs_[0] : UINT64_MAX;
+}
 
 // The simulator's round-number type.  Round 0 is the first round.
 using Round = BigUint;

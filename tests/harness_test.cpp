@@ -3,7 +3,9 @@
 // and the scenario hooks added to core/ and sim/.
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <set>
+#include <sstream>
 
 #include "core/runner.h"
 #include "harness/experiments.h"
@@ -251,6 +253,55 @@ TEST(Report, JsonEscapesControlAndQuoteCharacters) {
   EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
   EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
 }
+
+TEST(Report, TimingSectionIsOptInAndRowsStayClean) {
+  const ExperimentInfo* smoke = find_experiment("smoke");
+  ASSERT_NE(smoke, nullptr);
+  const std::vector<ScenarioResult> rows =
+      ParallelScenarioRunner(2).run("smoke", smoke->scenarios());
+  const std::string plain = to_json("smoke", rows);
+  const std::string timed = to_json("smoke", rows, /*include_timing=*/true);
+  // Default output carries no machine-dependent bytes...
+  EXPECT_EQ(plain.find("timing"), std::string::npos);
+  EXPECT_EQ(plain.find("ms"), std::string::npos);
+  // ...and the opt-in form only APPENDS the timing section: the
+  // deterministic prefix is byte-identical.
+  ASSERT_NE(timed.find("\"timing\":{\"total_ms\":"), std::string::npos);
+  EXPECT_EQ(timed.compare(0, plain.size() - 2, plain, 0, plain.size() - 2), 0);
+}
+
+// --- golden JSON: the simulator optimisations must be unobservable ----------
+
+// tests/golden/*.json were captured from the pre-optimisation simulator
+// (the O(t)-scan scheduler, unshared buffers, byte-packed Protocol D views).
+// The reports produced by today's binary must match them byte for byte:
+// scheduling, delivery order, every metric, and the JSON encoding itself are
+// all pinned.  Regenerate a golden only for a deliberate semantic change:
+//   ./build/dowork_bench --experiment <name> --jobs 1 --quiet
+//       --json tests/golden/<name>.json   (one command line)
+class GoldenJson : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GoldenJson, ByteIdenticalToPreOptimizationCapture) {
+  const char* name = GetParam();
+  const ExperimentInfo* e = find_experiment(name);
+  ASSERT_NE(e, nullptr);
+  // The bench writes the document plus a trailing newline.
+  const std::string produced =
+      to_json(name, ParallelScenarioRunner(4).run(name, e->scenarios())) + "\n";
+  const std::string path =
+      std::string(DOWORK_SOURCE_DIR) + "/tests/golden/" + name + ".json";
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.is_open()) << "missing golden file " << path;
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(produced, golden.str())
+      << "JSON drifted from the golden capture; if the change is an intended "
+         "semantic change, regenerate " << path;
+}
+
+INSTANTIATE_TEST_SUITE_P(PreOptimizationCaptures, GoldenJson,
+                         ::testing::Values("smoke", "checkpoint_sweep"),
+                         [](const auto& info) { return std::string(info.param); });
 
 }  // namespace
 }  // namespace dowork::harness
