@@ -1,78 +1,10 @@
-// Google-benchmark microbenchmarks of the substrate itself: simulator round
-// throughput, BigUint arithmetic, and end-to-end protocol runs.  These guard
-// against performance regressions in the harness (the paper benches above
-// all run on top of it).
-#include <benchmark/benchmark.h>
+// Substrate microbenchmarks: simulator round throughput and end-to-end
+// protocol runs, guarding against performance regressions in the harness.
+// Thin wrapper over the harness experiment registry (the google-benchmark
+// dependency is gone; Round arithmetic microbenches live in
+// tests/round_test.cpp).
+#include "harness/bench_main.h"
 
-#include "core/runner.h"
-#include "util/biguint.h"
-
-namespace dowork {
-namespace {
-
-void BM_BigUintAddShift(benchmark::State& state) {
-  BigUint acc{1};
-  for (auto _ : state) {
-    BigUint v = BigUint{0x9e3779b97f4a7c15ull} << 200;
-    v += acc;
-    benchmark::DoNotOptimize(v);
-  }
+int main(int argc, char** argv) {
+  return dowork::harness::bench_main(argc, argv, "sim_microbench");
 }
-BENCHMARK(BM_BigUintAddShift);
-
-void BM_BigUintToString(benchmark::State& state) {
-  BigUint v = BigUint{0xdeadbeefull} << 300;
-  for (auto _ : state) {
-    std::string s = v.to_string();
-    benchmark::DoNotOptimize(s);
-  }
-}
-BENCHMARK(BM_BigUintToString);
-
-void BM_ProtocolA_FailureFree(benchmark::State& state) {
-  const int t = static_cast<int>(state.range(0));
-  DoAllConfig cfg{16 * t, t};
-  for (auto _ : state) {
-    RunResult r = run_do_all("A", cfg, std::make_unique<NoFaults>());
-    benchmark::DoNotOptimize(r.metrics.work_total);
-  }
-  state.SetItemsProcessed(state.iterations() * cfg.n);
-}
-BENCHMARK(BM_ProtocolA_FailureFree)->Arg(16)->Arg(64)->Arg(256);
-
-void BM_ProtocolB_Cascade(benchmark::State& state) {
-  const int t = static_cast<int>(state.range(0));
-  DoAllConfig cfg{16 * t, t};
-  for (auto _ : state) {
-    RunResult r =
-        run_do_all("B", cfg, std::make_unique<WorkCascadeFaults>(1, t - 1, 0));
-    benchmark::DoNotOptimize(r.metrics.work_total);
-  }
-}
-BENCHMARK(BM_ProtocolB_Cascade)->Arg(16)->Arg(64);
-
-void BM_ProtocolC_Cascade(benchmark::State& state) {
-  const int t = static_cast<int>(state.range(0));
-  DoAllConfig cfg{4 * t, t};
-  for (auto _ : state) {
-    RunResult r =
-        run_do_all("C", cfg, std::make_unique<WorkCascadeFaults>(1, t - 1, 0));
-    benchmark::DoNotOptimize(r.metrics.messages_total);
-  }
-}
-BENCHMARK(BM_ProtocolC_Cascade)->Arg(8)->Arg(32);
-
-void BM_ProtocolD_FailureFree(benchmark::State& state) {
-  const int t = static_cast<int>(state.range(0));
-  DoAllConfig cfg{64 * t, t};
-  for (auto _ : state) {
-    RunResult r = run_do_all("D", cfg, std::make_unique<NoFaults>());
-    benchmark::DoNotOptimize(r.metrics.messages_total);
-  }
-}
-BENCHMARK(BM_ProtocolD_FailureFree)->Arg(8)->Arg(32);
-
-}  // namespace
-}  // namespace dowork
-
-BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Diff two dowork_bench --timing JSON reports row by row.
+
+Usage:
+    bench/compare_bench.py BASELINE.json CURRENT.json [--threshold X]
+
+Rows (repetitions) are matched by (experiment, id, rep); per-row wall_ms
+deltas are printed for every row present in both files, followed by the
+group and total deltas.  Rows missing from either side are listed but never
+fail the comparison (the sweep may legitimately grow).
+
+With --threshold X the exit status is 1 when any matched row is more than X
+times slower than its baseline (and at least 1 ms absolute, so sub-ms rows
+cannot trip on scheduler noise).  Without it the script always exits 0.
+CI runs this advisorily against the committed BENCH_scale.json with a
+generous threshold; the numbers are machine-dependent by nature, so treat a
+failure as a prompt to look, not proof of a regression.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, "rb") as f:
+        doc = json.load(f)
+    docs = doc if isinstance(doc, list) else [doc]
+    rows = {}
+    totals = {}
+    for d in docs:
+        timing = d.get("timing")
+        if timing is None:
+            sys.exit(f"{path}: no 'timing' section -- generate with --timing")
+        exp = d.get("experiment", "?")
+        totals[exp] = timing.get("total_ms", 0.0)
+        # wall_ms lives in the timing section, keyed like the rows.
+        for t in timing.get("rows", []):
+            key = (exp, t["id"], t.get("rep", 0))
+            rows[key] = t["wall_ms"]
+        if not timing.get("rows"):
+            # Older reports carry only per-group timing; fall back to groups.
+            for group, ms in timing.get("groups", {}).items():
+                rows[(exp, group, 0)] = ms
+    return rows, totals
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=None,
+                    help="fail (exit 1) when a row is more than X times slower")
+    args = ap.parse_args()
+
+    base_rows, base_totals = load(args.baseline)
+    cur_rows, cur_totals = load(args.current)
+
+    matched = sorted(set(base_rows) & set(cur_rows))
+    only_base = sorted(set(base_rows) - set(cur_rows))
+    only_cur = sorted(set(cur_rows) - set(base_rows))
+
+    regressions = []
+    width = max((len("/".join(map(str, k))) for k in matched), default=20)
+    print(f"{'row':<{width}}  {'base ms':>10}  {'cur ms':>10}  {'delta':>8}  ratio")
+    for key in matched:
+        b, c = base_rows[key], cur_rows[key]
+        ratio = c / b if b > 0 else float("inf")
+        name = "/".join(map(str, key))
+        print(f"{name:<{width}}  {b:>10.2f}  {c:>10.2f}  {c - b:>+8.2f}  {ratio:5.2f}x")
+        if args.threshold is not None and ratio > args.threshold and c - b >= 1.0:
+            regressions.append((name, b, c, ratio))
+
+    for exp in sorted(set(base_totals) & set(cur_totals)):
+        b, c = base_totals[exp], cur_totals[exp]
+        print(f"total[{exp}]: {b:.1f} ms -> {c:.1f} ms "
+              f"({c / b if b else float('inf'):.2f}x)")
+    for key in only_base:
+        print(f"only in baseline: {'/'.join(map(str, key))}")
+    for key in only_cur:
+        print(f"only in current:  {'/'.join(map(str, key))}")
+
+    if regressions:
+        print(f"\n{len(regressions)} row(s) slower than {args.threshold}x baseline:")
+        for name, b, c, ratio in regressions:
+            print(f"  {name}: {b:.2f} ms -> {c:.2f} ms ({ratio:.2f}x)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

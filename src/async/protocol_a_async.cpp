@@ -33,12 +33,13 @@ AsyncAction AsyncProtocolAProcess::pop_plan() {
     done_ = true;
     return a;
   }
-  ActiveOp op = std::move(plan_.front());
-  plan_.pop_front();
+  ActiveOp op = plan_.pop();
   if (op.work) {
     a.work = op.work;
   } else {
-    for (int r : op.recipients) a.sends.push_back(Outgoing{r, MsgKind::kCheckpoint, op.payload});
+    a.sends.reserve(op.recipients.size());
+    for (int r = op.recipients.first; r < op.recipients.end; ++r)
+      a.sends.push_back(Outgoing{r, MsgKind::kCheckpoint, op.payload});
   }
   if (plan_.empty()) {
     a.terminate = true;
@@ -77,7 +78,7 @@ AsyncAction AsyncProtocolAProcess::on_event(ATime, const AsyncEvent& event) {
   // kStart / kRetireNotice: maybe take over.
   if (!active_ && !completion_seen_ && lower_processes_all_retired()) {
     active_ = true;
-    plan_ = build_active_plan(layout_, part_, self_, last_, nullptr);
+    plan_ = ActivePlan(layout_, part_, self_, last_, nullptr);
     return pop_plan();
   }
   return {};

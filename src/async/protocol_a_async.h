@@ -35,7 +35,7 @@ class AsyncProtocolAProcess final : public IAsyncProcess {
   bool completion_seen_ = false;
   LastCheckpoint last_;
   std::set<int> retired_known_;
-  std::deque<ActiveOp> plan_;
+  ActivePlan plan_;
 };
 
 // Convenience harness mirroring run_do_all for the async model.

@@ -356,18 +356,20 @@ std::vector<Scenario> related_models_scenarios() {
 // The paper's message-complexity separations (A/B's O(t*sqrt(t)) vs C's
 // n + 8t log t vs D's (4f+2)t^2, Theorem 2.3 / Corollary 3.9 / Theorem 4.1)
 // only become visible at sizes far beyond the per-table experiments, so this
-// family sweeps t = 64..1024 with n = 16t under worst-case cascades.  Two
-// model-imposed caveats, documented in DESIGN.md:
-//   * Protocol C's deadlines are ~2^(n+t) rounds and must fit the 512-bit
-//     Round type, so its rows ride at the largest feasible shape
-//     (n = 440 - t, batched reports) and stop at t = 256 -- enough to show
-//     the t log t message curve against A/B's t*sqrt(t).
+// family sweeps t = 64..4096 with n = 16t under worst-case cascades (the
+// t = 2048 and 4096 rows were added once the two-tier Round and the lazy
+// A/B plan made them affordable).  Two model-imposed caveats, documented in
+// DESIGN.md:
+//   * Protocol C's deadlines are ~2^(n+t) rounds and must fit Round's
+//     promoted 512-bit representation, so its rows ride at the largest
+//     feasible shape (n = 440 - t, batched reports) and stop at t = 256 --
+//     enough to show the t log t message curve against A/B's t*sqrt(t).
 //   * Protocol D's message bill is (4f+2)t^2: its adversary uses a fixed
 //     budget of f = 16 crashes so the sweep measures the t^2 growth rather
 //     than drowning in an O(t^3) worst case.
 std::vector<Scenario> scale_scenarios() {
   std::vector<Scenario> out;
-  for (int t : {64, 128, 256, 512, 1024}) {
+  for (int t : {64, 128, 256, 512, 1024, 2048, 4096}) {
     const std::int64_t n = 16 * t;
     const std::int64_t s_ = int_sqrt_ceil(t);
     for (const char* proto : {"A", "B"}) {
@@ -396,6 +398,31 @@ std::vector<Scenario> scale_scenarios() {
       out.push_back(std::move(s));
     }
   }
+  return out;
+}
+
+// --- sim_microbench: substrate throughput guard ------------------------------
+//
+// The successor of the free-standing google-benchmark binary: the same
+// end-to-end protocol sweeps, expressed as registry scenarios so they run
+// through the harness, ctest and the determinism diff like every other
+// experiment.  (The old binary's BigUint arithmetic microbenches are covered
+// by tests/round_test.cpp's promotion-boundary suite; every row here
+// exercises Round arithmetic on the simulator hot path anyway.)
+std::vector<Scenario> sim_microbench_scenarios() {
+  std::vector<Scenario> out;
+  for (int t : {16, 64, 256})
+    out.push_back(sync_scenario("A_ff/t=" + std::to_string(t), "A", 16 * t, t,
+                                FaultSpec::none()));
+  for (int t : {16, 64})
+    out.push_back(sync_scenario("B_cascade/t=" + std::to_string(t), "B", 16 * t, t,
+                                FaultSpec::cascade(1, t - 1, 0)));
+  for (int t : {8, 32})
+    out.push_back(sync_scenario("C_cascade/t=" + std::to_string(t), "C", 4 * t, t,
+                                FaultSpec::cascade(1, t - 1, 0)));
+  for (int t : {8, 32})
+    out.push_back(sync_scenario("D_ff/t=" + std::to_string(t), "D", 64 * t, t,
+                                FaultSpec::none()));
   return out;
 }
 
@@ -520,7 +547,7 @@ const std::vector<ExperimentInfo>& all_experiments() {
        "sites; announced work is never lost, never-gossiped arrivals die with their site.",
        dynamic_scenarios},
       {"scale", "Scale sweep (Thms 2.3, 2.8, 4.1; Cor 3.9)",
-       "Asymptotics where the curves visibly diverge: t = 64..1024 at n = 16t under "
+       "Asymptotics where the curves visibly diverge: t = 64..4096 at n = 16t under "
        "worst-case cascades; A/B stay within 3n work + O(t^1.5) messages, D pays "
        "(4f+2)t^2 messages for optimal time, C_batch (capped at the 512-bit deadline "
        "budget) tracks its t log t message bound.",
@@ -529,6 +556,11 @@ const std::vector<ExperimentInfo>& all_experiments() {
        "Effort vs available-processor-steps (Protocol C: effort-optimal, APS-astronomical) "
        "and the shared-memory progress counter whose effort hugs 2n + O(t).",
        related_models_scenarios},
+      {"sim_microbench", "Substrate guard (no paper table)",
+       "End-to-end throughput of the simulator substrate itself -- failure-free and "
+       "cascade runs of A/B/C/D at small and medium shapes -- to catch harness "
+       "performance regressions; wall-clock rides in the ms column and --timing.",
+       sim_microbench_scenarios},
   };
   return kExperiments;
 }

@@ -258,7 +258,9 @@ std::string to_json(const std::string& experiment, const std::vector<ScenarioRes
   if (include_timing) {
     // Machine-dependent by design; excluded from the determinism contract
     // (see report.h).  Groups are keyed, not positional, so consumers can
-    // join on the aggregates.
+    // join on the aggregates; the per-repetition rows are what
+    // bench/compare_bench.py matches across two reports to print wall_ms
+    // deltas (the tracked perf trajectory seeded by BENCH_scale.json).
     double total = 0;
     for (const ScenarioResult& r : rows) total += r.wall_ms;
     out += ",\"timing\":{\"total_ms\":" + format_ms(total) + ",\"groups\":{";
@@ -266,7 +268,14 @@ std::string to_json(const std::string& experiment, const std::vector<ScenarioRes
       if (i) out += ',';
       out += '"' + json_escape(groups[i].group) + "\":" + format_ms(groups[i].wall_ms);
     }
-    out += "}}";
+    out += "},\"rows\":[";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (i) out += ',';
+      out += "{\"id\":\"" + json_escape(rows[i].id) +
+             "\",\"rep\":" + std::to_string(rows[i].rep) +
+             ",\"wall_ms\":" + format_ms(rows[i].wall_ms) + '}';
+    }
+    out += "]}";
   }
   out += '}';
   return out;

@@ -2,70 +2,140 @@
 
 namespace dowork {
 
-namespace {
+ActivePlan::ActivePlan(const GroupLayout& layout, const WorkPartition& part, int self,
+                       const LastCheckpoint& last, const std::vector<std::int64_t>* unit_map)
+    : layout_(layout), part_(part), self_(self), unit_map_(unit_map) {
+  gj_ = layout_.group_of(self_);
+  own_rest_ =
+      IdRange{std::max(layout_.first_of_group(gj_), self_ + 1), layout_.end_of_group(gj_)};
 
-// Append a broadcast op unless the recipient list is empty (an empty
-// broadcast conveys nothing and the paper does not charge a round for it).
-void push_broadcast(std::deque<ActiveOp>& plan, std::vector<int> recipients,
-                    std::shared_ptr<const Payload> payload) {
-  if (recipients.empty()) return;
-  plan.push_back(ActiveOp{std::nullopt, std::move(recipients), std::move(payload)});
-}
-
-}  // namespace
-
-std::deque<ActiveOp> build_active_plan(const GroupLayout& layout, const WorkPartition& part,
-                                       int self, const LastCheckpoint& last,
-                                       const std::vector<std::int64_t>* unit_map) {
-  std::deque<ActiveOp> plan;
-  const int gj = layout.group_of(self);
-  const int num_groups = layout.num_groups();
-
-  // Partialcheckpoint(c): inform the remainder of the own group.
-  auto partial_ckpt = [&](int c) {
-    push_broadcast(plan, layout.members_above(gj, self), std::make_shared<CkptPartial>(c));
+  // The resume section (Figure 1, DoWork lines 1-9) is O(groups): build it
+  // eagerly.  An empty broadcast conveys nothing and the paper does not
+  // charge a round for it, so empty recipient ranges emit no op.
+  auto push_broadcast = [&](IdRange recipients, std::shared_ptr<const Payload> payload) {
+    if (recipients.empty()) return;
+    prefix_.push_back(ActiveOp{std::nullopt, recipients, std::move(payload)});
   };
+  // Partialcheckpoint(c): inform the remainder of the own group.
+  auto partial_ckpt = [&](int c) { push_broadcast(own_rest_, std::make_shared<CkptPartial>(c)); };
   // Fullcheckpoint(c, l): for each group g = l..G-1, inform group g and then
   // checkpoint that fact to the remainder of the own group.
   auto full_ckpt = [&](int c, int from_g) {
-    for (int g = from_g; g < num_groups; ++g) {
-      push_broadcast(plan, layout.members(g), std::make_shared<CkptFull>(c, g));
-      push_broadcast(plan, layout.members_above(gj, self), std::make_shared<CkptFull>(c, g));
+    for (int g = from_g; g < layout_.num_groups(); ++g) {
+      push_broadcast(IdRange{layout_.first_of_group(g), layout_.end_of_group(g)},
+                     std::make_shared<CkptFull>(c, g));
+      push_broadcast(own_rest_, std::make_shared<CkptFull>(c, g));
     }
   };
-
-  // Resume the interrupted checkpointing (Figure 1, DoWork lines 1-9).
   if (!last.fictitious) {
     if (last.g.has_value()) {
-      if (layout.group_of(last.from) != gj) {
+      if (layout_.group_of(last.from) != gj_) {
         // Direct full checkpoint (c, g_j) from an earlier group: complete the
         // partial checkpoint, then the full checkpoint from the next group.
         partial_ckpt(last.c);
-        full_ckpt(last.c, gj + 1);
+        full_ckpt(last.c, gj_ + 1);
       } else {
         // Echo (c, g) with g > g_j from a group mate: make sure the own group
         // knows group g was informed, then continue from group g+1.
-        push_broadcast(plan, layout.members_above(gj, self),
-                       std::make_shared<CkptFull>(last.c, *last.g));
+        push_broadcast(own_rest_, std::make_shared<CkptFull>(last.c, *last.g));
         full_ckpt(last.c, *last.g + 1);
       }
     } else {
       // Partial checkpoint (c): complete it; if c closed a chunk, the full
       // checkpoint may also have been cut short -- redo it.
       partial_ckpt(last.c);
-      if (part.is_chunk_boundary(last.c)) full_ckpt(last.c, gj + 1);
+      if (part_.is_chunk_boundary(last.c)) full_ckpt(last.c, gj_ + 1);
     }
   }
 
-  // Proceed with the work, subchunk by subchunk (lines 10-14).
-  for (int c = last.c + 1; c <= part.num_subchunks(); ++c) {
-    for (std::int64_t u = part.sub_begin(c); u <= part.sub_end(c); ++u) {
-      std::int64_t unit = unit_map ? (*unit_map)[static_cast<std::size_t>(u - 1)] : u;
-      plan.push_back(ActiveOp{unit, {}, nullptr});
-    }
-    partial_ckpt(c);
-    if (part.is_chunk_boundary(c)) full_ckpt(c, gj + 1);
+  // Position the lazy main loop (lines 10-14) at subchunk last.c + 1 and
+  // prime the lookahead.
+  c_ = last.c;
+  advance_subchunk();
+  ActiveOp op;
+  if (produce(&op)) next_ = std::move(op);
+}
+
+void ActivePlan::advance_subchunk() {
+  ++c_;
+  if (c_ > part_.num_subchunks()) {
+    stage_ = Stage::kDone;
+    return;
   }
+  u_ = part_.sub_begin(c_);
+  stage_ = Stage::kUnits;
+}
+
+bool ActivePlan::produce(ActiveOp* out) {
+  while (true) {
+    switch (stage_) {
+      case Stage::kDone:
+        return false;
+      case Stage::kUnits: {
+        if (u_ <= part_.sub_end(c_)) {
+          const std::int64_t unit =
+              unit_map_ ? (*unit_map_)[static_cast<std::size_t>(u_ - 1)] : u_;
+          ++u_;
+          *out = ActiveOp{unit, {}, nullptr};
+          return true;
+        }
+        stage_ = Stage::kPartial;
+        break;
+      }
+      case Stage::kPartial: {
+        const int c = c_;
+        if (part_.is_chunk_boundary(c_)) {
+          stage_ = Stage::kFullDirect;
+          g_ = gj_ + 1;
+        } else {
+          advance_subchunk();
+        }
+        if (!own_rest_.empty()) {
+          *out = ActiveOp{std::nullopt, own_rest_, std::make_shared<CkptPartial>(c)};
+          return true;
+        }
+        break;
+      }
+      case Stage::kFullDirect: {
+        if (g_ >= layout_.num_groups()) {
+          advance_subchunk();
+          break;
+        }
+        *out = ActiveOp{std::nullopt,
+                        IdRange{layout_.first_of_group(g_), layout_.end_of_group(g_)},
+                        std::make_shared<CkptFull>(c_, g_)};
+        stage_ = Stage::kFullEcho;
+        return true;
+      }
+      case Stage::kFullEcho: {
+        const int g = g_;
+        ++g_;
+        stage_ = Stage::kFullDirect;
+        if (!own_rest_.empty()) {
+          *out = ActiveOp{std::nullopt, own_rest_, std::make_shared<CkptFull>(c_, g)};
+          return true;
+        }
+        break;
+      }
+    }
+  }
+}
+
+ActiveOp ActivePlan::pop() {
+  if (prefix_pos_ < prefix_.size()) return std::move(prefix_[prefix_pos_++]);
+  ActiveOp out = std::move(*next_);
+  next_.reset();
+  ActiveOp refill;
+  if (produce(&refill)) next_ = std::move(refill);
+  return out;
+}
+
+std::deque<ActiveOp> build_active_plan(const GroupLayout& layout, const WorkPartition& part,
+                                       int self, const LastCheckpoint& last,
+                                       const std::vector<std::int64_t>* unit_map) {
+  ActivePlan cursor(layout, part, self, last, unit_map);
+  std::deque<ActiveOp> plan;
+  while (!cursor.empty()) plan.push_back(cursor.pop());
   return plan;
 }
 
@@ -113,13 +183,14 @@ Action ProtocolAProcess::pop_plan() {
     a.terminate = true;
     return a;
   }
-  ActiveOp op = std::move(plan_.front());
-  plan_.pop_front();
+  ActiveOp op = plan_.pop();
   Action a;
   if (op.work) {
     a.work = op.work;
   } else {
-    for (int r : op.recipients) a.sends.push_back(Outgoing{r, MsgKind::kCheckpoint, op.payload});
+    a.sends.reserve(op.recipients.size());
+    for (int r = op.recipients.first; r < op.recipients.end; ++r)
+      a.sends.push_back(Outgoing{r, MsgKind::kCheckpoint, op.payload});
   }
   if (plan_.empty()) {
     // Terminate in the same round as the final operation.
@@ -147,8 +218,8 @@ Action ProtocolAProcess::on_round(const RoundContext& ctx, const std::vector<Env
     }
     if (ctx.round >= takeover_deadline()) {
       state_ = State::kActive;
-      plan_ = build_active_plan(layout_, part_, self_, last_,
-                                unit_map_.empty() ? nullptr : &unit_map_);
+      plan_ = ActivePlan(layout_, part_, self_, last_,
+                         unit_map_.empty() ? nullptr : &unit_map_);
     } else {
       return Action::none();
     }

@@ -53,18 +53,78 @@ struct LastCheckpoint {
   bool fictitious = true;
 };
 
+// A contiguous process-id range [first, end).  Groups are consecutive id
+// ranges (groups.h), so every checkpoint broadcast's audience -- "group g"
+// or "my group above me" -- is a range; storing the endpoints instead of a
+// materialized vector<int> makes plan ops allocation-free.
+struct IdRange {
+  int first = 0;
+  int end = 0;  // exclusive
+  bool empty() const { return end <= first; }
+  std::size_t size() const { return empty() ? 0 : static_cast<std::size_t>(end - first); }
+};
+
 // One round of the active process's remaining script: either perform a work
 // unit or emit one broadcast.
 struct ActiveOp {
   std::optional<std::int64_t> work;
-  std::vector<int> recipients;
+  IdRange recipients;
   std::shared_ptr<const Payload> payload;
 };
 
-// Builds the full script of an active process that takes over in state
-// `last` (DoWork in Figure 1): resume/complete the interrupted checkpoint,
-// then work subchunk-by-subchunk with partial/full checkpoints.  Shared by
-// Protocols A and B.
+// The active process's remaining script (DoWork in Figure 1), generated
+// lazily: resume/complete the interrupted checkpoint, then work
+// subchunk-by-subchunk with partial/full checkpoints.  Shared by Protocols A
+// and B.
+//
+// Laziness matters under takeover cascades: the eager builder materialized
+// O(n + t) ops per takeover while the adversary lets each active process
+// consume only a chunk's worth, which made plan construction the dominant
+// cost of the A/B scale rows.  The cursor snapshots the takeover state
+// (`last`) at construction, so the op sequence is exactly the one the eager
+// builder produced -- build_active_plan() below drains a cursor and is what
+// plan_test.cpp pins the sequence with.
+class ActivePlan {
+ public:
+  ActivePlan() = default;
+  // `unit_map` (optional) must outlive the plan; it is the owning process's
+  // member vector.
+  ActivePlan(const GroupLayout& layout, const WorkPartition& part, int self,
+             const LastCheckpoint& last, const std::vector<std::int64_t>* unit_map);
+
+  bool empty() const { return prefix_pos_ >= prefix_.size() && !next_.has_value(); }
+  // Next op of the script; must not be called when empty().
+  ActiveOp pop();
+
+ private:
+  enum class Stage : std::uint8_t { kUnits, kPartial, kFullDirect, kFullEcho, kDone };
+
+  // Emits the next main-loop op into *out and advances the state machine;
+  // false when the script is exhausted.  Skips the ops the eager builder
+  // skipped (empty broadcasts convey nothing and cost no round).
+  bool produce(ActiveOp* out);
+  void advance_subchunk();  // move to subchunk c_ + 1 (or kDone past the last)
+
+  GroupLayout layout_{1, 1};
+  WorkPartition part_{0, 1, 1};
+  int self_ = 0;
+  int gj_ = 0;        // own group index
+  IdRange own_rest_;  // "remainder of the own group": ids in (self_, end of group)
+  const std::vector<std::int64_t>* unit_map_ = nullptr;
+
+  std::vector<ActiveOp> prefix_;  // resume section, O(groups), built eagerly
+  std::size_t prefix_pos_ = 0;
+  // One-op lookahead so empty() is exact even when the remaining tail emits
+  // nothing (e.g. a last-in-group process with no higher groups).
+  std::optional<ActiveOp> next_;
+  Stage stage_ = Stage::kDone;
+  int c_ = 0;           // current subchunk
+  std::int64_t u_ = 0;  // next unit within subchunk c_ (kUnits only)
+  int g_ = 0;           // current full-checkpoint target group
+};
+
+// The eager form of the script -- a drained ActivePlan -- used by the plan
+// unit tests and anyone who wants the ops as data.
 std::deque<ActiveOp> build_active_plan(const GroupLayout& layout, const WorkPartition& part,
                                        int self, const LastCheckpoint& last,
                                        const std::vector<std::int64_t>* unit_map);
@@ -107,7 +167,7 @@ class ProtocolAProcess final : public IProcess {
   State state_ = State::kPassive;
   bool completion_seen_ = false;
   LastCheckpoint last_;
-  std::deque<ActiveOp> plan_;
+  ActivePlan plan_;
 };
 
 }  // namespace dowork

@@ -58,7 +58,7 @@ void ProtocolBProcess::ingest(const Envelope& env) {
 
 void ProtocolBProcess::activate() {
   state_ = State::kActive;
-  plan_ = build_active_plan(layout_, part_, self_, last_, nullptr);
+  plan_ = ActivePlan(layout_, part_, self_, last_, nullptr);
 }
 
 void ProtocolBProcess::enter_preactive(const Round& now) {
@@ -81,13 +81,14 @@ Action ProtocolBProcess::pop_plan() {
     a.terminate = true;
     return a;
   }
-  ActiveOp op = std::move(plan_.front());
-  plan_.pop_front();
+  ActiveOp op = plan_.pop();
   Action a;
   if (op.work) {
     a.work = op.work;
   } else {
-    for (int r : op.recipients) a.sends.push_back(Outgoing{r, MsgKind::kCheckpoint, op.payload});
+    a.sends.reserve(op.recipients.size());
+    for (int r = op.recipients.first; r < op.recipients.end; ++r)
+      a.sends.push_back(Outgoing{r, MsgKind::kCheckpoint, op.payload});
   }
   if (plan_.empty()) {
     a.terminate = true;

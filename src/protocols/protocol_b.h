@@ -66,7 +66,7 @@ class ProtocolBProcess final : public IProcess {
   bool completion_seen_ = false;
   bool go_ahead_pending_ = false;  // received this round, handled in on_round
   LastCheckpoint last_;
-  std::deque<ActiveOp> plan_;
+  ActivePlan plan_;
 
   // Preactive probing state.
   Round preactive_start_;

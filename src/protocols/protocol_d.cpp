@@ -15,23 +15,26 @@ ProtocolDProcess::ProtocolDProcess(const DoAllConfig& cfg, int self)
 
 void ProtocolDProcess::enter_work_phase(const Round& now) {
   // Figure 4 line 5: among the units still outstanding, take the slice of
-  // ceil(|S|/|T|) whose gradeS-rank matches our gradeT-rank.
-  std::vector<std::int64_t> outstanding;
-  for (std::size_t i = s_.find_next(0); i < s_.size(); i = s_.find_next(i + 1))
-    outstanding.push_back(static_cast<std::int64_t>(i) + 1);
+  // ceil(|S|/|T|) whose gradeS-rank matches our gradeT-rank.  The slice is
+  // located by rank directly in the bitset (select + find_next) instead of
+  // materializing all |S| outstanding units: every process re-derives the
+  // partition each phase, which made the O(n) flattening the second-largest
+  // cost of the t = 1024 scale row.
+  const std::int64_t left = static_cast<std::int64_t>(s_.count());
   const std::uint64_t alive = std::max<std::uint64_t>(1, t_alive_.count());
-  const std::int64_t w = ceil_div(static_cast<std::int64_t>(outstanding.size()),
-                                  static_cast<std::int64_t>(alive));
+  const std::int64_t w = ceil_div(left, static_cast<std::int64_t>(alive));
   my_slice_.clear();
   slice_pos_ = 0;
   if (t_alive_.test(static_cast<std::size_t>(self_))) {
     const std::int64_t rank =
         static_cast<std::int64_t>(t_alive_.count_prefix(static_cast<std::size_t>(self_)));
     const std::int64_t from = rank * w;
-    const std::int64_t to =
-        std::min<std::int64_t>(from + w, static_cast<std::int64_t>(outstanding.size()));
-    for (std::int64_t k = from; k < to; ++k)
-      my_slice_.push_back(outstanding[static_cast<std::size_t>(k)]);
+    const std::int64_t to = std::min<std::int64_t>(from + w, left);
+    if (from < to) {
+      std::size_t i = s_.select(static_cast<std::uint64_t>(from));
+      for (std::int64_t k = from; k < to; ++k, i = s_.find_next(i + 1))
+        my_slice_.push_back(static_cast<std::int64_t>(i) + 1);
+    }
   }
   // Everyone spends exactly ceil(|S|/|T|) rounds in the phase (line 7) so the
   // agreement phases stay aligned.
@@ -52,6 +55,7 @@ void ProtocolDProcess::enter_agree_phase(const Round&) {
 Action ProtocolDProcess::agree_broadcast(bool done) {
   Action a;
   auto payload = std::make_shared<AgreeMsg>(phase_, sn_, tn_, done);
+  a.sends.reserve(static_cast<std::size_t>(t_));
   for (int i = 0; i < t_; ++i)
     if (i != self_ && u_.test(static_cast<std::size_t>(i)))
       a.sends.push_back(Outgoing{i, MsgKind::kAgreement, payload});
@@ -104,6 +108,7 @@ void ProtocolDProcess::finish_agree(const Round& now) {
   phase_kind_ = PhaseKind::kWork;
   work_entered_ = false;
   std::fill(seen_.begin(), seen_.end(), nullptr);
+  early_retained_.clear();
 }
 
 Action ProtocolDProcess::on_round(const RoundContext& ctx, const std::vector<Envelope>& inbox) {
@@ -127,11 +132,15 @@ Action ProtocolDProcess::on_round(const RoundContext& ctx, const std::vector<Env
   }
 
   // Stash this phase's agreement messages (they may arrive one round early
-  // when a peer finished the previous agreement before us).
+  // when a peer finished the previous agreement before us).  Early arrivals
+  // land while we are still in the work phase and must outlive the recycled
+  // inbox, so their payloads are retained; agreement-round arrivals are
+  // consumed before this call returns (see the seen_ comment in the header).
   for (const Envelope& env : inbox) {
-    if (const auto* m = env.as<AgreeMsg>(); m != nullptr && m->phase == phase_)
-      seen_[static_cast<std::size_t>(env.from)] =
-          std::static_pointer_cast<const AgreeMsg>(env.payload);
+    if (const auto* m = env.as<AgreeMsg>(); m != nullptr && m->phase == phase_) {
+      seen_[static_cast<std::size_t>(env.from)] = m;
+      if (phase_kind_ == PhaseKind::kWork) early_retained_.push_back(env.payload);
+    }
   }
 
   if (phase_kind_ == PhaseKind::kWork) {
@@ -153,7 +162,7 @@ Action ProtocolDProcess::on_round(const RoundContext& ctx, const std::vector<Env
   // broadcasts arrive one simulator round after they were sent).
   bool adopted = false;
   for (int i = 0; i < t_; ++i) {
-    const auto& msg = seen_[static_cast<std::size_t>(i)];
+    const AgreeMsg* msg = seen_[static_cast<std::size_t>(i)];
     if (msg && msg->done) {
       sn_ = msg->s_left;
       tn_ = msg->t_alive;
@@ -164,7 +173,7 @@ Action ProtocolDProcess::on_round(const RoundContext& ctx, const std::vector<Env
   bool removed_any = false;
   if (!adopted) {
     for (int i = 0; i < t_; ++i) {
-      const auto& msg = seen_[static_cast<std::size_t>(i)];
+      const AgreeMsg* msg = seen_[static_cast<std::size_t>(i)];
       if (!msg) continue;
       sn_ &= msg->s_left;
       tn_ |= msg->t_alive;
@@ -180,6 +189,7 @@ Action ProtocolDProcess::on_round(const RoundContext& ctx, const std::vector<Env
     }
   }
   std::fill(seen_.begin(), seen_.end(), nullptr);
+  early_retained_.clear();
   const bool stable = !removed_any && iter_ >= grace_;
   ++iter_;
 

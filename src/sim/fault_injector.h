@@ -16,7 +16,7 @@
 #include <vector>
 
 #include "sim/process.h"
-#include "util/biguint.h"
+#include "util/round.h"
 #include "util/rng.h"
 
 namespace dowork {

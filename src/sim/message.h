@@ -14,7 +14,7 @@
 #include <typeinfo>
 #include <vector>
 
-#include "util/biguint.h"
+#include "util/round.h"
 
 namespace dowork {
 

@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "sim/message.h"
-#include "util/biguint.h"
+#include "util/round.h"
 
 namespace dowork {
 

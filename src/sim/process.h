@@ -14,12 +14,13 @@
 #include <vector>
 
 #include "sim/message.h"
-#include "util/biguint.h"
+#include "util/round.h"
 
 namespace dowork {
 
-// Sentinel wake time for processes with no pending timer.
-Round never_round();
+// Sentinel wake time for processes with no pending timer (a shared
+// constant; copy it to store it).
+const Round& never_round();
 
 // What a process does in one round.
 struct Action {

@@ -22,8 +22,10 @@
 //     caches the result in wake_[p], and keeps a lazy min-heap of
 //     (wake, proc) entries.  A round steps only the processes that received
 //     mail plus those popped from the heap -- O(steps * log t) instead of
-//     O(t) virtual calls with 512-bit arithmetic per round -- and
-//     fast-forward peeks the heap instead of rescanning every process.
+//     O(t) virtual calls per round -- and heap compares are one u64 compare
+//     in the common case (Round's inline tier; see util/round.h, which also
+//     keeps a WakeEntry at 24 bytes instead of 72).  Fast-forward peeks the
+//     heap instead of rescanning every process.
 //     Stale heap entries (wake changed, process retired) are dropped on pop
 //     by comparing against wake_[p] and state_[p].
 //   * Delivery is O(messages) with no per-round heap churn: in_flight_ and

@@ -1,11 +1,17 @@
-// 512-bit unsigned integer used as the simulator's round-number ("time") type.
+// 512-bit unsigned integer: the *promoted* representation behind the
+// simulator's two-tier Round type (util/round.h).
 //
 // Protocol C (Dwork-Halpern-Waarts Section 3) schedules takeover deadlines of
 // the form D(i,m) = K(n+t-m) * 2^(n+t-1-m) rounds; for the experiment sizes we
 // reproduce, these values overflow 64- and 128-bit integers but fit easily in
-// 512 bits (n + t up to ~450).  Arithmetic throws on overflow/underflow so a
-// mis-sized experiment fails loudly rather than corrupting deadline ordering,
-// which the protocol's correctness proof depends on.
+// 512 bits (n + t up to ~450).  Every other protocol's round numbers fit one
+// machine word, which is why Round keeps a uint64_t inline and only promotes
+// to a heap-backed BigUint when a value crosses 2^64.  Arithmetic here still
+// throws on overflow/underflow so a mis-sized experiment fails loudly rather
+// than corrupting deadline ordering, which Protocol C's correctness proof
+// depends on.  Code outside the promotion machinery should use Round; BigUint
+// is the escape hatch for values known to be astronomically large (deadline
+// tests, never_round()).
 #pragma once
 
 #include <array>
@@ -94,24 +100,24 @@ inline std::strong_ordering operator<=>(const BigUint& a, const BigUint& b) {
   return std::strong_ordering::equal;
 }
 
+// is_zero/fits_u64 are branch-free OR-reductions: both sit under Round's
+// promotion/demotion checks, where an early-exit loop's data-dependent
+// branches mispredict on mixed workloads for no win at 8 limbs.
 inline bool BigUint::is_zero() const {
-  for (auto l : limbs_)
-    if (l != 0) return false;
-  return true;
+  std::uint64_t acc = 0;
+  for (auto l : limbs_) acc |= l;
+  return acc == 0;
 }
 
 inline bool BigUint::fits_u64() const {
-  for (int i = 1; i < kLimbs; ++i)
-    if (limbs_[static_cast<std::size_t>(i)] != 0) return false;
-  return true;
+  std::uint64_t acc = 0;
+  for (int i = 1; i < kLimbs; ++i) acc |= limbs_[static_cast<std::size_t>(i)];
+  return acc == 0;
 }
 
 inline std::uint64_t BigUint::to_u64_saturating() const {
   return fits_u64() ? limbs_[0] : UINT64_MAX;
 }
-
-// The simulator's round-number type.  Round 0 is the first round.
-using Round = BigUint;
 
 std::string to_string(const BigUint& v);
 

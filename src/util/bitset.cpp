@@ -1,0 +1,27 @@
+#include "util/bitset.h"
+
+// Runtime ISA dispatch for the merge loops.  DOWORK_HAVE_TARGET_CLONES is
+// probed by CMake (check_cxx_source_compiles) because attribute support
+// alone does not guarantee the arch=x86-64-v* clone names resolve on every
+// toolchain.  Every clone executes the same word-wise AND/OR, so results
+// are bitwise identical regardless of which one the loader picks.
+#if defined(DOWORK_HAVE_TARGET_CLONES)
+#define DOWORK_MERGE_CLONES \
+  __attribute__((target_clones("arch=x86-64-v4", "arch=x86-64-v3", "default")))
+#else
+#define DOWORK_MERGE_CLONES
+#endif
+
+namespace dowork::detail {
+
+DOWORK_MERGE_CLONES
+void and_words(std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) a[i] &= b[i];
+}
+
+DOWORK_MERGE_CLONES
+void or_words(std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) a[i] |= b[i];
+}
+
+}  // namespace dowork::detail

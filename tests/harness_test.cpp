@@ -299,8 +299,11 @@ TEST_P(GoldenJson, ByteIdenticalToPreOptimizationCapture) {
          "semantic change, regenerate " << path;
 }
 
+// protocol_c was captured from the pre-two-tier-Round binary (PR 3): its
+// rows' exact exponential round counts pin that promoted deadlines still
+// compare, format and order exactly as the flat 512-bit representation did.
 INSTANTIATE_TEST_SUITE_P(PreOptimizationCaptures, GoldenJson,
-                         ::testing::Values("smoke", "checkpoint_sweep"),
+                         ::testing::Values("smoke", "checkpoint_sweep", "protocol_c"),
                          [](const auto& info) { return std::string(info.param); });
 
 }  // namespace

@@ -1,0 +1,146 @@
+// Promotion-boundary tests for the two-tier Round (util/round.h): exact
+// arithmetic at 2^64 - 1 +- 1, automatic promotion/demotion, total ordering
+// across representations, and preservation of BigUint's overflow semantics.
+#include "util/round.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/process.h"
+
+namespace dowork {
+namespace {
+
+constexpr std::uint64_t kMax = UINT64_MAX;  // 2^64 - 1
+
+TEST(RoundPromotion, SizeStaysTwoWords) {
+  // The point of the two-tier representation: a Round is pointer + word, so
+  // the simulator's WakeEntry fits a third of a cache line instead of 72B.
+  static_assert(sizeof(Round) == 16);
+}
+
+TEST(RoundPromotion, AddAcrossTheBoundaryIsExact) {
+  Round r{kMax};
+  EXPECT_TRUE(r.fits_u64());
+  r += Round{1};
+  EXPECT_FALSE(r.fits_u64());  // promoted at exactly 2^64
+  EXPECT_EQ(r.to_string(), "18446744073709551616");
+  EXPECT_EQ(r, Round::pow2(64));
+  EXPECT_EQ(r.to_u64_saturating(), kMax);  // saturates like BigUint did
+
+  // The carry is exact, not saturating: (2^64-1) + (2^64-1) = 2^65 - 2.
+  Round s = Round{kMax} + Round{kMax};
+  EXPECT_EQ(s.to_string(), "36893488147419103230");
+  EXPECT_EQ(s, (BigUint{kMax} + BigUint{kMax}));
+}
+
+TEST(RoundPromotion, SubtractionDemotesBackBelowTheBoundary) {
+  Round r = Round::pow2(64);  // promoted
+  r -= Round{1};
+  EXPECT_TRUE(r.fits_u64());  // demoted: representation is canonical
+  EXPECT_EQ(r.to_u64_saturating(), kMax);
+  EXPECT_EQ(r, Round{kMax});
+
+  // Underflow still throws (the paper's deadline math must fail loudly).
+  EXPECT_THROW(Round{5} - Round{6}, std::underflow_error);
+  EXPECT_THROW(Round{5} - Round::pow2(64), std::underflow_error);
+}
+
+TEST(RoundPromotion, MultiplyAcrossTheBoundary) {
+  Round r{std::uint64_t{1} << 63};
+  r *= 2;  // exactly 2^64
+  EXPECT_FALSE(r.fits_u64());
+  EXPECT_EQ(r, Round::pow2(64));
+
+  // (2^64-1) * (2^64-1): the same two-limb product BigUint computes.
+  Round p = Round{kMax} * kMax;
+  EXPECT_EQ(p, (BigUint{kMax} * kMax));
+
+  // Multiplying a promoted value by 0 demotes to inline zero.
+  Round z = Round::pow2(100) * std::uint64_t{0};
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_TRUE(z.fits_u64());
+  EXPECT_EQ(z, Round{0});
+}
+
+TEST(RoundPromotion, ShiftAcrossTheBoundary) {
+  EXPECT_TRUE((Round{1} << 63).fits_u64());
+  EXPECT_EQ(Round{1} << 64, Round::pow2(64));
+  EXPECT_FALSE((Round{1} << 64).fits_u64());
+  EXPECT_EQ(Round{3} << 63, Round{3} * (std::uint64_t{1} << 62) * 2);
+  // Zero shifts anywhere without promoting or throwing, as in BigUint.
+  EXPECT_TRUE((Round{0} << 1000).is_zero());
+  // 512-bit overflow still throws.
+  EXPECT_THROW(Round{1} << 512, std::overflow_error);
+  EXPECT_THROW(Round::pow2(511) << 1, std::overflow_error);
+  EXPECT_THROW(Round::pow2(511) + Round::pow2(511), std::overflow_error);
+  EXPECT_THROW(Round::pow2(512), std::overflow_error);
+}
+
+TEST(RoundPromotion, OrderingIsTotalAcrossRepresentations) {
+  const Round small{kMax};
+  const Round promoted = Round::pow2(64);
+  EXPECT_LT(small, promoted);           // small vs promoted: one null check
+  EXPECT_GT(promoted, small);
+  EXPECT_LT(Round{0}, small);           // small vs small: u64 compare
+  EXPECT_LT(promoted, Round::pow2(65)); // promoted vs promoted: limb compare
+  EXPECT_EQ(promoted, Round::pow2(64));
+  EXPECT_NE(small, promoted);
+  // A promoted value never equals an inline one (canonical representation).
+  EXPECT_NE(Round::pow2(64) - Round{1}, promoted);
+  // Interop with BigUint (implicit, demoting conversion).
+  EXPECT_EQ(Round(BigUint{42}), Round{42});
+  EXPECT_TRUE(Round(BigUint{42}).fits_u64());
+  EXPECT_EQ(Round(BigUint::pow2(90)), Round::pow2(90));
+}
+
+TEST(RoundPromotion, ToStringRoundTripMatchesBigUintAtTheBoundary) {
+  for (const Round& r : {Round{kMax - 1}, Round{kMax}, Round::pow2(64),
+                         Round::pow2(64) + Round{1}}) {
+    EXPECT_EQ(r.to_string(), r.as_big().to_string());
+  }
+  EXPECT_EQ(Round{kMax}.log2_floor(), 63);
+  EXPECT_EQ(Round::pow2(64).log2_floor(), 64);
+  EXPECT_EQ(Round{0}.log2_floor(), -1);
+}
+
+TEST(RoundPromotion, CopyAndAssignPreserveTheValueAcrossTiers) {
+  Round promoted = Round::pow2(200);
+  Round copy = promoted;  // deep copy of the promoted representation
+  promoted -= Round{1};
+  EXPECT_EQ(copy, Round::pow2(200));
+  EXPECT_LT(promoted, copy);
+  copy = Round{7};  // promoted -> small assignment
+  EXPECT_TRUE(copy.fits_u64());
+  Round small{3};
+  small = Round::pow2(80);  // small -> promoted assignment
+  EXPECT_EQ(small, Round::pow2(80));
+}
+
+// Protocol C's deadline shape D(i,m) = K(NT-m) * 2^(NT-1-m) spans both
+// tiers when NT straddles ~64: the takeover order the correctness proof
+// depends on (strictly decreasing in m) must hold across the promotion
+// boundary exactly as it held for plain BigUint.  The golden-pinned
+// protocol_c report (tests/golden/protocol_c.json, captured from the
+// pre-Round binary) pins the full end-to-end consequence.
+TEST(RoundPromotion, ProtocolCDeadlineShapeOrdersAcrossTheBoundary) {
+  const std::uint64_t K = 5;
+  const unsigned NT = 96;  // m near NT-1 gives inline deadlines, small m promoted
+  Round prev;
+  bool seen_small = false, seen_promoted = false;
+  for (unsigned m = NT - 1; m + 1 >= 1; --m) {
+    Round d = (Round{K} * (NT - m)) << (NT - 1 - m);
+    (d.fits_u64() ? seen_small : seen_promoted) = true;
+    EXPECT_GT(d, prev) << "m=" << m;
+    prev = d;
+    if (m == 0) break;
+  }
+  EXPECT_TRUE(seen_small);
+  EXPECT_TRUE(seen_promoted);
+  // never_round() beats every deadline, promoted ones included.
+  EXPECT_GT(never_round(), prev);
+}
+
+}  // namespace
+}  // namespace dowork
