@@ -1,0 +1,26 @@
+#include "adversary/adversary.h"
+
+#include <stdexcept>
+
+namespace dowork::adversary {
+
+AdaptiveFaults::AdaptiveFaults(std::unique_ptr<IAdversary> strategy, int max_crashes)
+    : strategy_(std::move(strategy)), max_crashes_(max_crashes) {
+  if (!strategy_) throw std::invalid_argument("AdaptiveFaults: null strategy");
+}
+
+void AdaptiveFaults::on_round_start(const Round& round) {
+  if (sim_ != nullptr) strategy_->round_start(round, *sim_);
+}
+
+std::optional<CrashPlan> AdaptiveFaults::inspect(int proc, const Round& round,
+                                                 const Action& action, const SimSnapshot& snap) {
+  if (sim_ == nullptr)
+    throw std::logic_error("AdaptiveFaults: inspect before attach (adaptive injectors only "
+                           "run under the synchronous Simulator)");
+  if (snap.crashed_so_far >= max_crashes_) return std::nullopt;
+  if (action.idle()) return std::nullopt;
+  return strategy_->decide(proc, round, action, *sim_, max_crashes_ - snap.crashed_so_far);
+}
+
+}  // namespace dowork::adversary

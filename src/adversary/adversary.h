@@ -1,0 +1,68 @@
+// Adaptive adversaries: strategies that watch the execution and choose
+// crashes online.
+//
+// Every bound in the paper is a worst case over an *adaptive* adversary, but
+// a scripted FaultSpec can only replay a crash schedule someone already
+// thought of.  This subsystem mechanizes the paper's lower-bound style of
+// argument ("crash mid-broadcast so only a prefix escapes", "crash right
+// after a unit is performed but before it is reported") as IAdversary
+// strategies: at each of the simulator's crash-decision points
+// (sim/fault_injector.h) the strategy sees the committed-state view
+// (sim/observable.h) plus the stepping process's Action, and may spend one
+// unit of its crash budget to kill that process mid-round.
+//
+// Determinism: a strategy is a deterministic state machine over the decision
+// stream; anything stochastic draws from the seed it was constructed with
+// (FaultSpec carries it, repetition r uses seed + r).  AdaptiveFaults is
+// single-run like every FaultInjector — the harness builds a fresh one per
+// run, so strategies never observe cross-run or cross-thread state and the
+// `--jobs` byte-identity contract holds unchanged.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "sim/fault_injector.h"
+#include "sim/observable.h"
+
+namespace dowork::adversary {
+
+// One adaptive crash strategy (see strategies.h for the concrete ones).
+class IAdversary {
+ public:
+  virtual ~IAdversary() = default;
+
+  // Decision point 2: a new round is about to step its processes.
+  virtual void round_start(const Round& /*round*/, const SimObservable& /*sim*/) {}
+
+  // Decision point 3: process `proc` is about to take `action`; return a
+  // CrashPlan to kill it (work_completes and deliver_prefix chosen freely),
+  // or nullopt to let it live.  `budget_left` > 0 is guaranteed; a returned
+  // plan always spends exactly one crash.
+  virtual std::optional<CrashPlan> decide(int proc, const Round& round, const Action& action,
+                                          const SimObservable& sim, int budget_left) = 0;
+
+  // The registry name this strategy was built under (diagnostics).
+  virtual std::string name() const = 0;
+};
+
+// FaultInjector adapter: enforces the crash budget and wires a strategy to
+// the simulator's decision points.  The simulator additionally never lets
+// the last survivor die, exactly as for the scripted injectors.
+class AdaptiveFaults final : public FaultInjector {
+ public:
+  AdaptiveFaults(std::unique_ptr<IAdversary> strategy, int max_crashes);
+
+  void attach(const SimObservable& sim) override { sim_ = &sim; }
+  void on_round_start(const Round& round) override;
+  std::optional<CrashPlan> inspect(int proc, const Round& round, const Action& action,
+                                   const SimSnapshot& snap) override;
+
+ private:
+  std::unique_ptr<IAdversary> strategy_;
+  int max_crashes_;
+  const SimObservable* sim_ = nullptr;
+};
+
+}  // namespace dowork::adversary

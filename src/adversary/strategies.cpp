@@ -1,0 +1,181 @@
+#include "adversary/strategies.h"
+
+#include <stdexcept>
+
+#include "core/work.h"
+#include "util/rng.h"
+
+namespace dowork::adversary {
+
+namespace {
+
+// A deliberate announcement: any send the protocol chose to make (poll
+// replies are reactive and free in the model, so killing a replier wastes
+// budget on a crash that erases nothing).
+bool announces(const Action& a) {
+  for (const Outgoing& o : a.sends)
+    if (o.kind != MsgKind::kPollReply) return true;
+  return false;
+}
+
+// --- chain ------------------------------------------------------------------
+
+class ChainChaser final : public IAdversary {
+ public:
+  void round_start(const Round&, const SimObservable&) override {
+    // Concurrency is observed strictly before the first crash and the
+    // parameters are locked at that crash: the sequential protocols can
+    // never flip modes mid-cascade, so the per-decision behavior stays the
+    // scripted cascade's.
+    if (!locked_ && workers_last_round_ >= 2) concurrent_ = true;
+    workers_last_round_ = 0;
+  }
+
+  std::optional<CrashPlan> decide(int proc, const Round&, const Action& action,
+                                  const SimObservable& sim, int) override {
+    if (!action.work) return std::nullopt;
+    ++workers_last_round_;
+    if (units_.size() <= static_cast<std::size_t>(proc))
+      units_.resize(static_cast<std::size_t>(proc) + 1, 0);
+    const std::uint64_t done = ++units_[static_cast<std::size_t>(proc)];
+    const std::uint64_t threshold =
+        concurrent_ ? 2
+                    : static_cast<std::uint64_t>(
+                          ceil_div(sim.num_units(), int_sqrt_ceil(sim.num_procs())) + 1);
+    if (done < threshold) return std::nullopt;
+    locked_ = true;
+    return CrashPlan{/*work_completes=*/true,
+                     /*deliver_prefix=*/concurrent_ ? std::size_t{0} : std::size_t{1}};
+  }
+
+  std::string name() const override { return "chain"; }
+
+ private:
+  std::vector<std::uint64_t> units_;  // committed units per process
+  int workers_last_round_ = 0;
+  bool concurrent_ = false;
+  bool locked_ = false;
+};
+
+// --- greedy -----------------------------------------------------------------
+
+class GreedyEffortMax final : public IAdversary {
+ public:
+  std::optional<CrashPlan> decide(int proc, const Round&, const Action& action,
+                                  const SimObservable& sim, int) override {
+    if (!announces(action)) return std::nullopt;
+    const std::int64_t mine = sim.announced_progress(proc);
+    if (mine <= 0) return std::nullopt;
+    // Only kill a most-knowledgeable process: erasing its announcement
+    // destroys knowledge nobody else can re-derive without redoing work.
+    for (int p = 0; p < sim.num_procs(); ++p)
+      if (p != proc && sim.is_active(p) && sim.announced_progress(p) > mine)
+        return std::nullopt;
+    return CrashPlan{/*work_completes=*/true, /*deliver_prefix=*/0};
+  }
+
+  std::string name() const override { return "greedy"; }
+};
+
+// --- splitter ---------------------------------------------------------------
+
+class AgreementSplitter final : public IAdversary {
+ public:
+  void round_start(const Round&, const SimObservable&) override { crashed_this_round_ = false; }
+
+  std::optional<CrashPlan> decide(int, const Round&, const Action& action, const SimObservable&,
+                                  int) override {
+    if (crashed_this_round_) return std::nullopt;  // one discovery per iteration
+    bool agreement = false;
+    for (const Outgoing& o : action.sends)
+      if (o.kind == MsgKind::kAgreement) {
+        agreement = true;
+        break;
+      }
+    if (!agreement) return std::nullopt;
+    crashed_this_round_ = true;
+    return CrashPlan{/*work_completes=*/true, /*deliver_prefix=*/action.sends.size() / 2};
+  }
+
+  std::string name() const override { return "splitter"; }
+
+ private:
+  bool crashed_this_round_ = false;
+};
+
+// --- restart ----------------------------------------------------------------
+
+class RandomRestart final : public IAdversary {
+ public:
+  explicit RandomRestart(std::uint64_t seed) : rng_(seed) {}
+
+  std::optional<CrashPlan> decide(int, const Round&, const Action& action, const SimObservable&,
+                                  int) override {
+    // Announcement moments are where a crash can erase information, so the
+    // search samples them an order of magnitude harder than work rounds.
+    const double p = announces(action) ? 0.25 : 0.03;
+    if (!rng_.chance(p)) return std::nullopt;
+    CrashPlan plan;
+    plan.work_completes = rng_.chance(0.5);
+    plan.deliver_prefix =
+        action.sends.empty() ? 0 : static_cast<std::size_t>(rng_.uniform(0, action.sends.size()));
+    return plan;
+  }
+
+  std::string name() const override { return "restart"; }
+
+ private:
+  Rng rng_;
+};
+
+// The one table every public function (and the tournament) derives from.
+struct StrategyEntry {
+  StrategyInfo info;
+  std::unique_ptr<IAdversary> (*make)(std::uint64_t seed);
+};
+
+const std::vector<StrategyEntry>& registry() {
+  static const std::vector<StrategyEntry> kRegistry = {
+      {{"chain", false}, [](std::uint64_t) -> std::unique_ptr<IAdversary> {
+         return std::make_unique<ChainChaser>();
+       }},
+      {{"greedy", false}, [](std::uint64_t) -> std::unique_ptr<IAdversary> {
+         return std::make_unique<GreedyEffortMax>();
+       }},
+      {{"splitter", false}, [](std::uint64_t) -> std::unique_ptr<IAdversary> {
+         return std::make_unique<AgreementSplitter>();
+       }},
+      {{"restart", true}, [](std::uint64_t seed) -> std::unique_ptr<IAdversary> {
+         return std::make_unique<RandomRestart>(seed);
+       }},
+  };
+  return kRegistry;
+}
+
+}  // namespace
+
+const std::vector<StrategyInfo>& all_strategies() {
+  static const std::vector<StrategyInfo> kInfos = [] {
+    std::vector<StrategyInfo> infos;
+    for (const StrategyEntry& e : registry()) infos.push_back(e.info);
+    return infos;
+  }();
+  return kInfos;
+}
+
+bool is_strategy(const std::string& name) {
+  for (const StrategyEntry& e : registry())
+    if (e.info.name == name) return true;
+  return false;
+}
+
+std::unique_ptr<IAdversary> make_strategy(const std::string& name, std::uint64_t seed) {
+  for (const StrategyEntry& e : registry())
+    if (e.info.name == name) return e.make(seed);
+  std::string known;
+  for (const StrategyEntry& e : registry())
+    known += (known.empty() ? "" : ", ") + e.info.name;
+  throw std::invalid_argument("unknown adaptive strategy '" + name + "' (known: " + known + ")");
+}
+
+}  // namespace dowork::adversary

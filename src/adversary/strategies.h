@@ -1,0 +1,66 @@
+// The concrete adaptive strategies and their registry.
+//
+// Each strategy mechanizes one of the paper's adversarial arguments (see
+// docs/ADVERSARIES.md for the taxonomy and the bound each one stresses):
+//
+//   chain     Takeover-chain chaser (Protocols A/B, also C's cascade): counts
+//             committed units per process and crashes the worker one chunk
+//             (ceil(n/sqrt(t)) + 1 units) in, broadcast truncated to one
+//             recipient — and, when it observes concurrent workers (Protocol
+//             D), tightens to two units with nothing escaping.  On the
+//             sequential protocols this adaptively re-derives the scripted
+//             worst-case chunk cascade decision for decision, so the
+//             tournament's adaptive worst case can never fall below the
+//             scripted one.
+//   greedy    Greedy effort-maximizer: whenever the stepping process is
+//             about to make a deliberate announcement (any non-poll-reply
+//             send) and no other active process knows more than it does,
+//             kill it with nothing escaping — the unit in progress completes
+//             but is never reported (paper Section 2.1 / the Section 3
+//             most-knowledgeable-takeover adversary), so successors redo it.
+//   splitter  Agreement-splitter (Protocol D): crashes one agreement-phase
+//             broadcaster per round mid-broadcast, half the views escaping,
+//             so recipients disagree about S and T and every iteration
+//             discovers at most one new failure — stretching the agreement
+//             loop toward its (4f+2)t^2 message bound.  Never fires on
+//             protocols without agreement traffic.
+//   restart   Budgeted random-restart search: seeded random crash decisions
+//             biased toward announcement moments (random prefix, coin-flip
+//             unit completion).  The *search* is across repetitions — rep r
+//             draws from seed + r and the tournament keeps the worst row.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adversary/adversary.h"
+
+namespace dowork::adversary {
+
+// One registry row.  The table below is the single source of truth: the
+// name lookup, the factory, and the adversary_search tournament (which
+// fields every registered strategy and gives the stochastic ones several
+// seeded repetitions) all iterate it, so adding a strategy in one place
+// adds it everywhere.
+struct StrategyInfo {
+  std::string name;
+  // Draws from its seed: the tournament runs it with several repetitions
+  // (rep r uses seed + r) and keeps the worst; deterministic strategies
+  // get one.
+  bool stochastic = false;
+};
+
+// The registry, in presentation order.
+const std::vector<StrategyInfo>& all_strategies();
+
+// True iff `name` names a registered strategy (FaultSpec::parse validates
+// adaptive specs with this without constructing anything).
+bool is_strategy(const std::string& name);
+
+// Fresh strategy instance; `seed` feeds the stochastic strategies (the
+// deterministic ones ignore it).  Throws std::invalid_argument for unknown
+// names, listing the registry.
+std::unique_ptr<IAdversary> make_strategy(const std::string& name, std::uint64_t seed);
+
+}  // namespace dowork::adversary

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "adversary/strategies.h"
+
 namespace dowork::harness {
 
 namespace {
@@ -67,6 +69,9 @@ std::unique_ptr<FaultInjector> FaultSpec::make(std::uint64_t rep) const {
       return std::make_unique<RandomFaults>(p, max_crashes, seed + rep);
     case Kind::kScheduled:
       return std::make_unique<ScheduledFaults>(entries);
+    case Kind::kAdaptive:
+      return std::make_unique<adversary::AdaptiveFaults>(
+          adversary::make_strategy(strategy, seed + rep), max_crashes);
   }
   throw std::logic_error("FaultSpec: bad kind");
 }
@@ -100,6 +105,10 @@ std::string FaultSpec::to_string() const {
       }
       return out + ")";
     }
+    case Kind::kAdaptive:
+      std::snprintf(buf, sizeof buf, "adaptive:%s(crashes=%d,seed=%" PRIu64 ")",
+                    strategy.c_str(), max_crashes, seed);
+      return buf;
   }
   throw std::logic_error("FaultSpec: bad kind");
 }
@@ -130,6 +139,15 @@ FaultSpec FaultSpec::parse(const std::string& text) {
     const auto kvs = split_kv(body);
     spec.kind = Kind::kRandom;
     spec.p = std::strtod(find_kv(kvs, "p").c_str(), nullptr);
+    spec.max_crashes = std::stoi(find_kv(kvs, "crashes"));
+    spec.seed = std::stoull(find_kv(kvs, "seed"));
+  } else if (name.rfind("adaptive:", 0) == 0) {
+    const auto kvs = split_kv(body);
+    spec.kind = Kind::kAdaptive;
+    spec.strategy = name.substr(std::strlen("adaptive:"));
+    if (!adversary::is_strategy(spec.strategy))
+      throw std::invalid_argument("FaultSpec: unknown adaptive strategy '" + spec.strategy +
+                                  "'");
     spec.max_crashes = std::stoi(find_kv(kvs, "crashes"));
     spec.seed = std::stoull(find_kv(kvs, "seed"));
   } else if (name == "scheduled") {
@@ -172,6 +190,8 @@ bool operator==(const FaultSpec& a, const FaultSpec& b) {
              a.deliver_prefix == b.deliver_prefix;
     case FaultSpec::Kind::kRandom:
       return a.p == b.p && a.max_crashes == b.max_crashes && a.seed == b.seed;
+    case FaultSpec::Kind::kAdaptive:
+      return a.strategy == b.strategy && a.max_crashes == b.max_crashes && a.seed == b.seed;
     case FaultSpec::Kind::kScheduled:
       if (a.entries.size() != b.entries.size()) return false;
       for (std::size_t i = 0; i < a.entries.size(); ++i) {
@@ -221,6 +241,17 @@ FaultSpec FaultSpec::scheduled(std::vector<ScheduledFaults::Entry> entries) {
   FaultSpec s;
   s.kind = Kind::kScheduled;
   s.entries = std::move(entries);
+  return s;
+}
+
+FaultSpec FaultSpec::adaptive(const std::string& strategy, int crashes, std::uint64_t seed) {
+  if (!adversary::is_strategy(strategy))
+    throw std::invalid_argument("FaultSpec: unknown adaptive strategy '" + strategy + "'");
+  FaultSpec s;
+  s.kind = Kind::kAdaptive;
+  s.strategy = strategy;
+  s.max_crashes = crashes;
+  s.seed = seed;
   return s;
 }
 

@@ -14,18 +14,22 @@
 // identity, and to_string(parse()) is a fixed point.  No whitespace is
 // permitted anywhere.
 //
-//   spec      := "none" | cascade | on_unit | random | scheduled
+//   spec      := "none" | cascade | on_unit | random | scheduled | adaptive
 //   cascade   := "cascade(units=" U64 ",crashes=" INT ",prefix=" PREFIX
 //                ",completes=" BOOL ")"
 //   on_unit   := "on_unit(unit=" I64 ",crashes=" INT ",prefix=" PREFIX ")"
 //   random    := "random(p=" DOUBLE ",crashes=" INT ",seed=" U64 ")"
 //   scheduled := "scheduled(" entry (";" entry)* ")"     -- may be empty: "scheduled()"
 //   entry     := PROC "@" NTH ":" BOOL ":" PREFIX        -- proc, action ordinal, plan
+//   adaptive  := "adaptive:" STRATEGY "(crashes=" INT ",seed=" U64 ")"
 //
-//   PREFIX := "all" | U64      -- how many of the dying broadcast's sends
+//   PREFIX   := "all" | U64    -- how many of the dying broadcast's sends
 //                                 escape; "all" round-trips SIZE_MAX
-//   BOOL   := "0" | "1"
-//   DOUBLE := shortest %g form that re-parses to the identical double
+//   BOOL     := "0" | "1"
+//   DOUBLE   := shortest %g form that re-parses to the identical double
+//   STRATEGY := a name registered in src/adversary/strategies.h ("chain",
+//               "greedy", "splitter", "restart"); anything else is rejected
+//               at parse time, not at make() time
 //
 // Examples (all produced by the convenience constructors below):
 //   none
@@ -33,6 +37,7 @@
 //   on_unit(unit=63,crashes=31,prefix=0)
 //   random(p=0.05,crashes=15,seed=42)
 //   scheduled(0@1:0:4;3@9:1:all)
+//   adaptive:greedy(crashes=15,seed=7)
 #pragma once
 
 #include <memory>
@@ -48,7 +53,7 @@ struct FaultSpec {
   // names.  Which of the knob fields below are meaningful depends on it;
   // the unused ones keep their defaults and are ignored by make(),
   // to_string() and operator==.
-  enum class Kind : std::uint8_t { kNone, kCascade, kOnUnit, kRandom, kScheduled };
+  enum class Kind : std::uint8_t { kNone, kCascade, kOnUnit, kRandom, kScheduled, kAdaptive };
 
   // kNone (the default): no process ever fails.
   Kind kind = Kind::kNone;
@@ -56,8 +61,8 @@ struct FaultSpec {
   // kCascade: how many units the currently-working process performs before
   // the adversary kills it (WorkCascadeFaults's takeover-cascade rhythm).
   std::uint64_t units_before_crash = 1;
-  // kCascade / kOnUnit / kRandom: total crash budget; the simulator
-  // additionally never lets the last survivor die.
+  // kCascade / kOnUnit / kRandom / kAdaptive: total crash budget; the
+  // simulator additionally never lets the last survivor die.
   int max_crashes = 0;
   // kCascade / kOnUnit: broadcast truncation on crash -- the number of the
   // dying process's in-progress sends that still escape (paper Section 2.1:
@@ -73,13 +78,18 @@ struct FaultSpec {
   std::int64_t unit = 0;
   // kRandom: per-round crash probability for every live, non-idle process.
   double p = 0.0;
-  // kRandom: RNG seed.  make(rep) draws from seed + rep, so repetitions of
-  // one scenario explore different schedules while staying reproducible.
+  // kRandom / kAdaptive: RNG seed.  make(rep) draws from seed + rep, so
+  // repetitions of one scenario explore different schedules while staying
+  // reproducible (kAdaptive's "restart" strategy is the seed consumer; the
+  // deterministic strategies ignore it but keep it in their identity).
   std::uint64_t seed = 0;
   // kScheduled: an explicit kill list -- (proc, its k-th non-idle action,
   // CrashPlan) triples, applied by ScheduledFaults exactly as written.
   // Used by tests and the protocol_d experiments to craft exact executions.
   std::vector<ScheduledFaults::Entry> entries;
+  // kAdaptive: registered strategy name (src/adversary/strategies.h);
+  // make() builds an AdaptiveFaults around a fresh strategy instance.
+  std::string strategy;
 
   // Fresh injector for one run.  `rep` perturbs the random adversary's seed
   // so repetitions explore different schedules; the deterministic adversaries
@@ -100,6 +110,8 @@ struct FaultSpec {
   static FaultSpec on_unit(std::int64_t unit, int crashes, std::size_t prefix = 0);
   static FaultSpec random(double p, int crashes, std::uint64_t seed);
   static FaultSpec scheduled(std::vector<ScheduledFaults::Entry> entries);
+  // Throws std::invalid_argument for unregistered strategy names.
+  static FaultSpec adaptive(const std::string& strategy, int crashes, std::uint64_t seed = 0);
 };
 
 }  // namespace dowork::harness

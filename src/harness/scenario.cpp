@@ -153,6 +153,44 @@ void run_one_rep(const Scenario& s, int rep, ScenarioResult& row) {
   throw std::logic_error("run_one_rep: bad substrate");
 }
 
+// Bound-margin reporting (opt-in via params["assert_bounds"] = 1; the
+// adversary_search family).  Every "bound_work*" / "bound_msgs*" /
+// "bound_rounds*" param is checked against its measured column: exceeding a
+// paper bound flips the row to a violation (the theorems quantify over
+// *every* adversary, so an adaptive execution above a bound is a finding,
+// not noise), and each check adds a bound_margin_* extra holding the
+// percent of the bound consumed (rounded up, so 100 can mean "tight" but
+// never "over") -- the group reduction's max is then the least headroom.
+void assert_bounds(const Scenario& s, ScenarioResult& row) {
+  auto check = [&](const std::string& key, std::int64_t bound, const char* measure,
+                   std::uint64_t measured, bool fits) {
+    const std::uint64_t b = static_cast<std::uint64_t>(bound);
+    if (!fits || measured > b) {
+      row.ok = false;
+      const std::string amount = fits ? std::to_string(measured) : row.rounds;
+      if (!row.violation.empty()) row.violation += "; ";
+      row.violation += std::string(measure) + " " + amount + " exceeds " + key + "=" +
+                       std::to_string(bound);
+    }
+    const std::uint64_t pct = fits ? (measured * 100 + b - 1) / b : 0;
+    row.extra.emplace_back(std::string("bound_margin_") + measure,
+                           fits ? std::to_string(pct) : "overflow");
+  };
+  for (const auto& [key, bound] : s.params) {
+    if (bound <= 0) continue;
+    if (key.rfind("bound_work", 0) == 0) {
+      check(key, bound, "work", row.work, true);
+    } else if (key.rfind("bound_msgs", 0) == 0) {
+      check(key, bound, "msgs", row.messages, true);
+    } else if (key.rfind("bound_rounds", 0) == 0) {
+      // Rounds are exact (possibly promoted past u64, in which case any
+      // int64 bound is certainly exceeded).
+      const bool fits = row.last_round.fits_u64();
+      check(key, bound, "rounds", fits ? row.last_round.to_u64_saturating() : 0, fits);
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<ScenarioResult> run_scenario(const std::string& experiment, const Scenario& s) {
@@ -186,6 +224,8 @@ std::vector<ScenarioResult> run_scenario(const std::string& experiment, const Sc
     for (const auto& [key, value] : s.params)
       if (key.rfind("bound_", 0) == 0)
         row.extra.emplace_back(key, with_commas(static_cast<std::uint64_t>(value)));
+    // Opt-in bound assertion + bound_margin_* columns (adversary_search).
+    if (s.param_or("assert_bounds", 0) == 1) assert_bounds(s, row);
     rows.push_back(std::move(row));
   }
   return rows;

@@ -62,6 +62,10 @@ struct Scenario {
   // "protocol_param" tunes a registry protocol's constructor; "value" is
   // the Byzantine general's value).  Keys prefixed "bound_" are paper-bound
   // columns copied verbatim into the result rows for table/JSON output.
+  // With "assert_bounds" = 1 (the adversary_search family), bound_work* /
+  // bound_msgs* / bound_rounds* are additionally *checked* against the
+  // measured row (exceeding one is a violation) and reported as
+  // bound_margin_* columns -- percent of the bound consumed, rounded up.
   std::map<std::string, std::int64_t> params;
 
   std::int64_t param_or(const std::string& key, std::int64_t fallback) const {

@@ -187,6 +187,7 @@ Action ProtocolAProcess::pop_plan() {
   Action a;
   if (op.work) {
     a.work = op.work;
+    if (unit_map_.empty() && *op.work > top_unit_) top_unit_ = *op.work;
   } else {
     a.sends.reserve(op.recipients.size());
     for (int r = op.recipients.first; r < op.recipients.end; ++r)
@@ -225,6 +226,13 @@ Action ProtocolAProcess::on_round(const RoundContext& ctx, const std::vector<Env
     }
   }
   return pop_plan();
+}
+
+std::int64_t ProtocolAProcess::known_done_units() const {
+  if (!unit_map_.empty()) return 0;  // virtual ids; the D wrapper answers
+  const int c = std::min(last_.c, part_.num_subchunks());
+  const std::int64_t from_ckpt = c >= 1 ? part_.sub_end(c) : 0;
+  return std::max(from_ckpt, top_unit_);
 }
 
 Round ProtocolAProcess::next_wake(const Round& now) const {

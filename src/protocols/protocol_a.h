@@ -149,6 +149,13 @@ class ProtocolAProcess final : public IProcess {
 
   bool is_active() const { return state_ == State::kActive; }
 
+  // Observability accessor (process.h): units known done = the last
+  // checkpoint heard (work is sequential, so subchunk c done means units
+  // 1..sub_end(c) are done) or, when active, the last unit performed.
+  // Unit-mapped instances (Protocol D's revert) report 0 — their ids are
+  // virtual and the wrapper exposes its own knowledge instead.
+  std::int64_t known_done_units() const override;
+
  private:
   enum class State { kPassive, kActive, kDone };
 
@@ -168,6 +175,7 @@ class ProtocolAProcess final : public IProcess {
   bool completion_seen_ = false;
   LastCheckpoint last_;
   ActivePlan plan_;
+  std::int64_t top_unit_ = 0;  // highest unit performed (unmapped runs only)
 };
 
 }  // namespace dowork

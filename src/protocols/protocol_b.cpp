@@ -1,5 +1,7 @@
 #include "protocols/protocol_b.h"
 
+#include <algorithm>
+
 namespace dowork {
 
 ProtocolBProcess::ProtocolBProcess(const DoAllConfig& cfg, int self, Round start_round)
@@ -85,6 +87,7 @@ Action ProtocolBProcess::pop_plan() {
   Action a;
   if (op.work) {
     a.work = op.work;
+    if (*op.work > top_unit_) top_unit_ = *op.work;
   } else {
     a.sends.reserve(op.recipients.size());
     for (int r = op.recipients.first; r < op.recipients.end; ++r)
@@ -95,6 +98,12 @@ Action ProtocolBProcess::pop_plan() {
     state_ = State::kDone;
   }
   return a;
+}
+
+std::int64_t ProtocolBProcess::known_done_units() const {
+  const int c = std::min(last_.c, part_.num_subchunks());
+  const std::int64_t from_ckpt = c >= 1 ? part_.sub_end(c) : 0;
+  return std::max(from_ckpt, top_unit_);
 }
 
 Action ProtocolBProcess::on_round(const RoundContext& ctx, const std::vector<Envelope>& inbox) {

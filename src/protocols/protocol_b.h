@@ -40,6 +40,10 @@ class ProtocolBProcess final : public IProcess {
 
   bool is_active() const { return state_ == State::kActive; }
 
+  // Observability accessor (process.h): same knowledge notion as Protocol A
+  // — the last checkpoint heard or the last unit performed.
+  std::int64_t known_done_units() const override;
+
   // Timeout functions, exposed for tests (all in rounds).
   std::uint64_t pto() const { return pto_; }
   std::uint64_t gto(int i) const;
@@ -67,6 +71,7 @@ class ProtocolBProcess final : public IProcess {
   bool go_ahead_pending_ = false;  // received this round, handled in on_round
   LastCheckpoint last_;
   ActivePlan plan_;
+  std::int64_t top_unit_ = 0;  // highest unit performed
 
   // Preactive probing state.
   Round preactive_start_;

@@ -108,6 +108,11 @@ class ProtocolCProcess final : public IProcess {
   std::uint64_t contact_bound_k() const { return k_; }
   const ViewC& view() const { return view_; }
 
+  // Observability accessor (process.h): point0 is the successor of the last
+  // unit this process knows done (its own work plus everything ordinary
+  // messages taught it).
+  std::int64_t known_done_units() const override { return view_.point0 - 1; }
+
  private:
   enum class State { kPassive, kActive, kDone };
 

@@ -56,6 +56,15 @@ class ProtocolDProcess final : public IProcess {
   int phases_completed() const { return phase_ - 1; }
   bool reverted_to_a() const { return phase_kind_ == PhaseKind::kRevertA; }
 
+  // Observability accessor (process.h): units outside the outstanding set S
+  // are exactly the ones this process knows done (performed by itself or
+  // learned via agreement views).  After a revert, S is frozen at the
+  // revert-time value — the embedded Protocol A instance works on virtual
+  // ids, so its extra knowledge is not translated back.
+  std::int64_t known_done_units() const override {
+    return static_cast<std::int64_t>(s_.size() - s_.count());
+  }
+
  private:
   enum class PhaseKind { kWork, kAgree, kRevertA, kFinished };
 

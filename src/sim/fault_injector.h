@@ -35,11 +35,31 @@ struct SimSnapshot {
   int crashed_so_far = 0;
 };
 
+class SimObservable;
+
+// Crash-decision points, in the order the simulator visits them:
+//   1. attach()         — once, before round 0: hands adaptive injectors the
+//                         read-only committed-state view (sim/observable.h),
+//                         valid for the whole run.
+//   2. on_round_start() — once per *stepped* round (fast-forwarded idle
+//                         stretches are skipped), before any process steps.
+//   3. inspect()        — per stepping process: the returned CrashPlan folds
+//                         the paper's two mid-round degrees of freedom into
+//                         one decision — the mid-broadcast prefix cut
+//                         (deliver_prefix) and the crash-after-the-unit-but-
+//                         before-reporting-it choice (work_completes).
+// The scripted injectors below ignore hooks 1 and 2 (the defaults are
+// no-ops), so existing executions are bit-for-bit unchanged.
 class FaultInjector {
  public:
   virtual ~FaultInjector() = default;
-  // Inspect the action process `proc` is about to take in `round`; return a
-  // CrashPlan to kill it mid-round, or nullopt to let it live.
+  // Decision point 1: offered once before the run; default: ignore the view.
+  virtual void attach(const SimObservable& /*sim*/) {}
+  // Decision point 2: a new round is about to step its processes.
+  virtual void on_round_start(const Round& /*round*/) {}
+  // Decision point 3: inspect the action process `proc` is about to take in
+  // `round`; return a CrashPlan to kill it mid-round, or nullopt to let it
+  // live.
   virtual std::optional<CrashPlan> inspect(int proc, const Round& round, const Action& action,
                                            const SimSnapshot& snap) = 0;
 };

@@ -1,0 +1,66 @@
+// Read-only window onto committed simulator state, for adaptive adversaries.
+//
+// The paper's bounds are worst cases over an *adaptive* adversary: one that
+// watches the execution and chooses crashes online.  SimObservable is the
+// exact window such an adversary is allowed to watch through — it is handed
+// to the fault injector via FaultInjector::attach() and stays valid for the
+// whole run (src/adversary/ builds its strategies on top of it).
+//
+// ## What is observable, and why nothing more
+//
+// The accessors report committed run state — work units that actually
+// completed (post fault filtering), messages that actually escaped their
+// sender, retirements that already happened — plus each process's own
+// progress view (announced_progress below, which can additionally count a
+// unit the process is mid-performing; process.h has the exact contract).
+// The adversary never sees a protocol's private intentions beyond the
+// Action it is already handed at the existing inspect() decision point —
+// which is faithful to the model (the adversary controls the network and
+// the crash schedule, so everything here is information it could
+// reconstruct from the wire anyway) and is what keeps the harness
+// determinism contract intact: a run is a pure function of (scenario,
+// seed), strategies draw randomness only from scenario seeds, and no
+// accessor exposes cross-run or cross-thread state (each run owns its
+// simulator and injector; parallelism exists only across runs).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/round.h"
+
+namespace dowork {
+
+class SimObservable {
+ public:
+  virtual ~SimObservable() = default;
+
+  // Shape: process count and (when the run tracks them) distinct work units.
+  virtual int num_procs() const = 0;
+  virtual std::int64_t num_units() const = 0;
+
+  // Liveness.  "Active" means neither crashed nor voluntarily terminated.
+  virtual bool is_active(int proc) const = 0;
+  virtual int active_count() const = 0;
+  virtual std::uint64_t crashes_so_far() const = 0;
+
+  // Rounds elapsed: the round currently being stepped.
+  virtual const Round& rounds_elapsed() const = 0;
+
+  // Messages delivered to `proc` this round and not yet consumed by it.
+  virtual std::size_t inbox_size(int proc) const = 0;
+
+  // Committed per-process tallies (exactly the run metrics' breakdowns).
+  virtual std::uint64_t units_done(int proc) const = 0;
+  virtual std::uint64_t messages_sent(int proc) const = 0;
+  virtual std::uint64_t total_units_done() const = 0;
+
+  // The protocol-level observability accessor (IProcess::known_done_units):
+  // how many units `proc` believes done — wire-derived knowledge plus the
+  // process's own in-progress bookkeeping, which may run ahead of the
+  // committed units_done() tallies for units `proc` is mid-performing.
+  // See process.h for the exact contract and the per-protocol caveats.
+  virtual std::int64_t announced_progress(int proc) const = 0;
+};
+
+}  // namespace dowork

@@ -68,6 +68,22 @@ class IProcess {
   // every process every round.
   virtual Round next_wake(const Round& now) const = 0;
 
+  // Observability accessor for adaptive adversaries (src/adversary/, via
+  // SimObservable::announced_progress): how many of the run's work units
+  // this process currently believes done.  This is the process's *local
+  // planning view* — knowledge it earned by performing units or heard in
+  // announcements (checkpoints, ordinary messages, agreement views) that
+  // physically left some process — so exposing it leaks nothing the
+  // adversary, who controls the network and the crash schedule, could not
+  // already reconstruct.  It may run ahead of globally committed work for
+  // units the process itself is mid-performing (Protocol D books its whole
+  // slice at phase entry, per the paper's line 8; A/B count the unit in
+  // the current action), and a crash that vetoes the pending unit strands
+  // a dead process's count high — the strictly committed per-process
+  // tallies live in SimObservable::units_done instead.  Must not
+  // speculate about in-flight mail.  Purely diagnostic default: 0.
+  virtual std::int64_t known_done_units() const { return 0; }
+
   // Diagnostic label.
   virtual std::string describe() const { return "process"; }
 };

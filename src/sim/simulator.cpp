@@ -182,6 +182,10 @@ RunMetrics Simulator::run() {
   if (ran_) throw std::logic_error("Simulator::run called twice");
   ran_ = true;
 
+  // Crash-decision point 1: hand adaptive injectors the committed-state
+  // view before anything happens (a no-op for the scripted injectors).
+  faults_->attach(*this);
+
   // Seed the wake cache: every process is asked once, up front, when it
   // first wants to run; from here on next_wake is re-queried only after a
   // step (the monotonicity contract in process.h makes the cache exact).
@@ -238,6 +242,10 @@ RunMetrics Simulator::run() {
       std::sort(step_list_.begin(), step_list_.end());
 
     metrics_.available_processor_steps += Round{static_cast<std::uint64_t>(alive_)};
+    // Crash-decision point 2: the round is about to step (delivery is done,
+    // so inbox sizes are observable).  cur_round_ backs rounds_elapsed().
+    cur_round_ = r;
+    faults_->on_round_start(r);
     step_round(r);
     ++metrics_.stepped_rounds;
     metrics_.last_retire_round = r;

@@ -48,13 +48,18 @@
 
 #include "sim/fault_injector.h"
 #include "sim/metrics.h"
+#include "sim/observable.h"
 #include "sim/process.h"
 
 namespace dowork {
 
 enum class ProcState : std::uint8_t { kAlive, kCrashed, kTerminated };
 
-class Simulator {
+// The simulator is itself the SimObservable it hands the fault injector at
+// run start (FaultInjector::attach): every accessor reads committed state —
+// metrics breakdowns, retirement flags, this round's inboxes — so adaptive
+// adversaries (src/adversary/) observe exactly what the model lets them.
+class Simulator final : public SimObservable {
  public:
   struct Options {
     // Enforce the paper's one-operation-per-round accounting: a step may
@@ -83,6 +88,30 @@ class Simulator {
   ProcState state_of(int proc) const { return state_[static_cast<std::size_t>(proc)]; }
   int alive_count() const { return alive_; }
   const RunMetrics& metrics() const { return metrics_; }
+
+  // SimObservable: the adaptive adversary's committed-state window
+  // (sim/observable.h documents the contract).
+  int num_procs() const override { return static_cast<int>(procs_.size()); }
+  std::int64_t num_units() const override { return opt_.n_units; }
+  bool is_active(int proc) const override {
+    return state_[static_cast<std::size_t>(proc)] == ProcState::kAlive;
+  }
+  int active_count() const override { return alive_; }
+  std::uint64_t crashes_so_far() const override { return metrics_.crashes; }
+  const Round& rounds_elapsed() const override { return cur_round_; }
+  std::size_t inbox_size(int proc) const override {
+    return inbox_[static_cast<std::size_t>(proc)].size();
+  }
+  std::uint64_t units_done(int proc) const override {
+    return metrics_.work_by_proc[static_cast<std::size_t>(proc)];
+  }
+  std::uint64_t messages_sent(int proc) const override {
+    return metrics_.messages_by_proc[static_cast<std::size_t>(proc)];
+  }
+  std::uint64_t total_units_done() const override { return metrics_.work_total; }
+  std::int64_t announced_progress(int proc) const override {
+    return procs_[static_cast<std::size_t>(proc)]->known_done_units();
+  }
 
  private:
   // One lazy min-heap entry; stale when wake != wake_[proc] or the process
@@ -124,6 +153,7 @@ class Simulator {
   std::vector<int> next_step_;                // fast path: wake == next round
   std::vector<std::uint8_t> queued_;          // step/next-step membership flags
   std::vector<std::uint8_t> heap_has_;        // heap holds an entry == wake_[p]
+  Round cur_round_;                           // round being stepped (observable)
   RunMetrics metrics_;
   bool ran_ = false;
 };

@@ -27,6 +27,8 @@ TEST(FaultSpec, RoundTripsEveryKind) {
       FaultSpec::random(0.05, 15, 42),
       FaultSpec::random(1.0 / 3.0, 7, 0),  // needs full double precision
       FaultSpec::scheduled({{0, 1, CrashPlan{false, 4}}, {3, 9, CrashPlan{true, SIZE_MAX}}}),
+      FaultSpec::adaptive("greedy", 15, 42),
+      FaultSpec::adaptive("restart", 7),
   };
   for (const FaultSpec& spec : specs) {
     const std::string text = spec.to_string();
@@ -41,6 +43,23 @@ TEST(FaultSpec, ParseRejectsMalformedInput) {
   EXPECT_THROW(FaultSpec::parse("cascade(units=1)"), std::invalid_argument);
   EXPECT_THROW(FaultSpec::parse("martian(x=1)"), std::invalid_argument);
   EXPECT_THROW(FaultSpec::parse("scheduled(nonsense)"), std::invalid_argument);
+}
+
+TEST(FaultSpec, AdaptiveRoundTripsExactly) {
+  // The grammar's adaptive form, pinned literally: parse(to_string()) is the
+  // identity and to_string(parse()) a fixed point on the exact spelling.
+  const FaultSpec spec = FaultSpec::adaptive("chain", 15, 3);
+  EXPECT_EQ(spec.to_string(), "adaptive:chain(crashes=15,seed=3)");
+  EXPECT_EQ(FaultSpec::parse("adaptive:chain(crashes=15,seed=3)"), spec);
+  EXPECT_EQ(FaultSpec::parse(spec.to_string()).to_string(), spec.to_string());
+}
+
+TEST(FaultSpec, AdaptiveRejectsUnknownStrategies) {
+  // Unknown strategies are rejected when the spec is *built*, not when the
+  // injector is -- both at parse time and in the convenience constructor.
+  EXPECT_THROW(FaultSpec::parse("adaptive:zeus(crashes=1,seed=0)"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::parse("adaptive:(crashes=1,seed=0)"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::adaptive("zeus", 1), std::invalid_argument);
 }
 
 TEST(FaultSpec, MakeBuildsTheRightInjector) {
@@ -92,6 +111,48 @@ TEST(ScenarioHooks, ParamOnParamlessProtocolThrows) {
   opts.protocol_param = 3;
   EXPECT_THROW(run_do_all("A", DoAllConfig{16, 4}, std::make_unique<NoFaults>(), opts),
                std::invalid_argument);
+}
+
+// --- bound assertion (assert_bounds / bound_margin_*) -----------------------
+
+TEST(ScenarioBounds, AssertBoundsFlagsBreachesAndReportsMargins) {
+  // A deliberately impossible work bound must flip the row to a violation
+  // naming the bound, while the satisfied message bound still reports its
+  // margin; without assert_bounds the same params are copy-through columns.
+  Scenario s;
+  s.id = s.group = "tight";
+  s.protocol = "A";
+  s.cfg = DoAllConfig{32, 4};
+  s.faults = FaultSpec::none();
+  s.params["assert_bounds"] = 1;
+  s.params["bound_work_3n"] = 8;  // failure-free A performs all 32 units
+  s.params["bound_msgs"] = 1000000;
+  const std::vector<ScenarioResult> rows = run_scenario("x", s);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_FALSE(rows[0].ok);
+  EXPECT_NE(rows[0].violation.find("exceeds bound_work_3n=8"), std::string::npos)
+      << rows[0].violation;
+  auto margin = [&](const std::string& key) -> std::string {
+    for (const auto& [k, v] : rows[0].extra)
+      if (k == key) return v;
+    return "<missing>";
+  };
+  EXPECT_EQ(margin("bound_margin_work"), "400");  // 32 of 8, ceil percent
+  EXPECT_EQ(margin("bound_margin_msgs"), "1");    // comfortably under
+}
+
+TEST(ScenarioBounds, WithoutAssertBoundsParamsAreCopyThroughOnly) {
+  Scenario s;
+  s.id = s.group = "loose";
+  s.protocol = "A";
+  s.cfg = DoAllConfig{32, 4};
+  s.faults = FaultSpec::none();
+  s.params["bound_work_3n"] = 8;  // violated, but nothing checks it
+  const std::vector<ScenarioResult> rows = run_scenario("x", s);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_TRUE(rows[0].ok) << rows[0].violation;
+  for (const auto& [k, v] : rows[0].extra)
+    EXPECT_EQ(k.rfind("bound_margin_", 0), std::string::npos) << k;
 }
 
 // --- MetricsAggregate -------------------------------------------------------
@@ -162,6 +223,21 @@ TEST(ParallelScenarioRunner, DeterministicJsonAcrossJobCounts) {
   const std::vector<Scenario> scenarios = smoke->scenarios();
   const std::string json1 = to_json("smoke", ParallelScenarioRunner(1).run("smoke", scenarios));
   const std::string json8 = to_json("smoke", ParallelScenarioRunner(8).run("smoke", scenarios));
+  EXPECT_EQ(json1, json8);
+}
+
+TEST(ParallelScenarioRunner, AdversarySearchIsByteIdenticalAcrossJobCounts) {
+  // Adaptive strategies observe only committed single-run state and draw
+  // randomness only from scenario seeds, so the tournament keeps the same
+  // determinism contract as every scripted family: the full JSON document
+  // is byte-identical at any parallelism.
+  const ExperimentInfo* e = find_experiment("adversary_search");
+  ASSERT_NE(e, nullptr);
+  const std::vector<Scenario> scenarios = e->scenarios();
+  const std::string json1 =
+      to_json("adversary_search", ParallelScenarioRunner(1).run("adversary_search", scenarios));
+  const std::string json8 =
+      to_json("adversary_search", ParallelScenarioRunner(8).run("adversary_search", scenarios));
   EXPECT_EQ(json1, json8);
 }
 
