@@ -2,7 +2,7 @@
 """Diff two dowork_bench --timing JSON reports row by row.
 
 Usage:
-    bench/compare_bench.py BASELINE.json CURRENT.json [--threshold X]
+    bench/compare_bench.py BASELINE.json CURRENT.json [--threshold X] [--timing]
 
 Rows (repetitions) are matched by (experiment, id, rep); per-row wall_ms
 deltas are printed for every row present in both files, followed by the
@@ -15,11 +15,86 @@ cannot trip on scheduler noise).  Without it the script always exits 0.
 CI runs this advisorily against the committed BENCH_scale.json with a
 generous threshold; the numbers are machine-dependent by nature, so treat a
 failure as a prompt to look, not proof of a regression.
+
+With --timing the comparison switches from per-repetition rows to the
+reports' timing.groups (and timing.per_protocol, when both sides carry it):
+for every group present in both files it prints baseline ms, current ms and
+the speedup ratio (baseline / current, so > 1 is faster).  This is how the
+DESIGN.md perf-trajectory claims are reproduced from two committed
+BENCH_scale.json artifacts.  --threshold applies to groups in this mode
+(a group is a regression when current > X * baseline and >= 1 ms slower).
 """
 
 import argparse
 import json
 import sys
+
+
+def load_timing_sections(path):
+    with open(path, "rb") as f:
+        doc = json.load(f)
+    docs = doc if isinstance(doc, list) else [doc]
+    groups = {}
+    per_protocol = {}
+    totals = {}
+    for d in docs:
+        timing = d.get("timing")
+        if timing is None:
+            sys.exit(f"{path}: no 'timing' section -- generate with --timing")
+        exp = d.get("experiment", "?")
+        totals[exp] = timing.get("total_ms", 0.0)
+        for group, ms in timing.get("groups", {}).items():
+            groups[(exp, group)] = ms
+        for proto, ms in timing.get("per_protocol", {}).items():
+            per_protocol[(exp, proto)] = ms
+    return groups, per_protocol, totals
+
+
+def compare_timing(args):
+    base_groups, base_protos, base_totals = load_timing_sections(args.baseline)
+    cur_groups, cur_protos, cur_totals = load_timing_sections(args.current)
+
+    regressions = []
+
+    def table(title, base, cur):
+        matched = sorted(set(base) & set(cur))
+        if not matched:
+            return
+        width = max(len("/".join(k)) for k in matched)
+        print(f"-- {title} --")
+        print(f"{'key':<{width}}  {'base ms':>10}  {'cur ms':>10}  speedup")
+        for key in matched:
+            b, c = base[key], cur[key]
+            speedup = b / c if c > 0 else float("inf")
+            name = "/".join(key)
+            print(f"{name:<{width}}  {b:>10.2f}  {c:>10.2f}  {speedup:6.2f}x")
+            if (args.threshold is not None and b > 0 and c / b > args.threshold
+                    and c - b >= 1.0):
+                regressions.append((name, b, c, c / b))
+        for key in sorted(set(base) - set(cur)):
+            print(f"only in baseline: {'/'.join(key)}")
+        for key in sorted(set(cur) - set(base)):
+            print(f"only in current:  {'/'.join(key)}")
+
+    table("timing.groups", base_groups, cur_groups)
+    if set(base_groups) == set(cur_groups):
+        table("timing.per_protocol", base_protos, cur_protos)
+        for exp in sorted(set(base_totals) & set(cur_totals)):
+            b, c = base_totals[exp], cur_totals[exp]
+            print(f"total[{exp}]: {b:.1f} ms -> {c:.1f} ms "
+                  f"({b / c if c else float('inf'):.2f}x speedup)")
+    else:
+        # A filtered run against a full sweep: per-protocol sums and totals
+        # would compare different row sets and print ratios that are purely
+        # the filter, so only the matched groups are meaningful.
+        print("(group sets differ: skipping per_protocol/total comparison)")
+
+    if regressions:
+        print(f"\n{len(regressions)} group(s) slower than {args.threshold}x baseline:")
+        for name, b, c, ratio in regressions:
+            print(f"  {name}: {b:.2f} ms -> {c:.2f} ms ({ratio:.2f}x)")
+        return 1
+    return 0
 
 
 def load(path):
@@ -51,7 +126,13 @@ def main():
     ap.add_argument("current")
     ap.add_argument("--threshold", type=float, default=None,
                     help="fail (exit 1) when a row is more than X times slower")
+    ap.add_argument("--timing", action="store_true",
+                    help="diff timing.groups/per_protocol and print speedup ratios "
+                         "instead of matching per-repetition rows")
     args = ap.parse_args()
+
+    if args.timing:
+        return compare_timing(args)
 
     base_rows, base_totals = load(args.baseline)
     cur_rows, cur_totals = load(args.current)

@@ -94,7 +94,9 @@ class AgreementSplitter final : public IAdversary {
       }
     if (!agreement) return std::nullopt;
     crashed_this_round_ = true;
-    return CrashPlan{/*work_completes=*/true, /*deliver_prefix=*/action.sends.size() / 2};
+    // Half of the flattened recipient sequence: identical to halving the
+    // per-recipient send list the pre-ledger Action carried.
+    return CrashPlan{/*work_completes=*/true, /*deliver_prefix=*/action.total_recipients() / 2};
   }
 
   std::string name() const override { return "splitter"; }
@@ -117,8 +119,9 @@ class RandomRestart final : public IAdversary {
     if (!rng_.chance(p)) return std::nullopt;
     CrashPlan plan;
     plan.work_completes = rng_.chance(0.5);
-    plan.deliver_prefix =
-        action.sends.empty() ? 0 : static_cast<std::size_t>(rng_.uniform(0, action.sends.size()));
+    plan.deliver_prefix = action.sends.empty()
+                              ? 0
+                              : static_cast<std::size_t>(rng_.uniform(0, action.total_recipients()));
     return plan;
   }
 

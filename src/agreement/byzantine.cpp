@@ -51,33 +51,33 @@ class ByzantineProcess final : public IProcess {
         decide_at_(decide_at),
         board_(board) {}
 
-  Action on_round(const RoundContext& ctx, const std::vector<Envelope>& inbox) override {
+  Action on_round(const RoundContext& ctx, const InboxView& inbox) override {
     // Adopt values and strip piggybacks before handing mail to the inner
-    // protocol.
+    // protocol (as materialized envelopes: the inner process sees a plain
+    // vector-backed InboxView).
     std::vector<Envelope> inner_mail;
-    for (const Envelope& env : inbox) {
-      if (const auto* v = env.as<ValueMsg>()) {
+    for (const Msg& msg : inbox) {
+      if (const auto* v = msg.as<ValueMsg>()) {
         value_ = v->value;
         continue;
       }
-      if (const auto* pv = env.as<ValuedPayload>()) {
+      if (const auto* pv = msg.as<ValuedPayload>()) {
         value_ = pv->value;
-        Envelope unwrapped = env;
-        unwrapped.payload = pv->inner;
-        inner_mail.push_back(std::move(unwrapped));
+        inner_mail.push_back(Envelope{msg.from, self_, msg.kind, msg.sent_round(), pv->inner});
         continue;
       }
-      inner_mail.push_back(env);
+      inner_mail.push_back(Envelope{msg.from, self_, msg.kind, msg.sent_round(), msg.payload()});
     }
 
     Action out;
-    // Round 0: the general broadcasts its value to the senders.  A crash
-    // mid-broadcast informs only a prefix of them (the fault injector's
-    // choice); the work protocol then spreads whatever survived.
+    // Round 0: the general broadcasts its value to the senders -- one
+    // range-addressed send, so a crash mid-broadcast informs the id prefix
+    // of them (the fault injector's choice); the work protocol then spreads
+    // whatever survived.
     if (self_ == 0 && ctx.round == Round{0}) {
-      auto payload = std::make_shared<ValueMsg>(value_);
-      for (int s = 1; s < num_senders_; ++s)
-        out.sends.push_back(Outgoing{s, MsgKind::kValue, payload});
+      if (num_senders_ > 1)
+        out.sends.push_back(
+            Outgoing{IdRange{1, num_senders_}, MsgKind::kValue, std::make_shared<ValueMsg>(value_)});
       return out;
     }
 
@@ -91,6 +91,8 @@ class ByzantineProcess final : public IProcess {
                                      std::make_shared<ValueMsg>(value_)});
       }
       for (Outgoing& o : a.sends) {
+        // Piggybacking wraps per send -- a broadcast's audience shares one
+        // wrapper, exactly as it shares the inner payload.
         if (wrap_values_)
           o.payload = std::make_shared<ValuedPayload>(std::move(o.payload), value_);
         out.sends.push_back(std::move(o));

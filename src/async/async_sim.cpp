@@ -66,20 +66,30 @@ AsyncMetrics AsyncSim::run() {
       if (*a.work >= 1 && *a.work <= opt_.n_units)
         ++metrics_.unit_multiplicity[static_cast<std::size_t>(*a.work - 1)];
     }
-    const std::size_t deliver = crash ? std::min(crash->deliver_prefix, a.sends.size())
-                                      : a.sends.size();
-    for (std::size_t s = 0; s < deliver; ++s) {
-      const Outgoing& o = a.sends[s];
-      ++metrics_.messages_total;
-      if (o.to >= 0 && o.to < static_cast<int>(procs_.size()) &&
-          !retired_[static_cast<std::size_t>(o.to)]) {
-        AsyncEvent e;
-        e.kind = AsyncEvent::Kind::kMessage;
-        e.from = static_cast<int>(p);
-        e.msg_kind = o.kind;
-        e.payload = o.payload;
-        schedule(qe.time + rng_.uniform(opt_.min_delay, opt_.max_delay), o.to, std::move(e));
-      }
+    // deliver_prefix indexes the flattened message sequence (sends in
+    // vector order, each audience in ascending id order), matching the
+    // synchronous simulator's prefix-cut semantics; per-message delays are
+    // drawn in that same order for live recipients only.
+    std::size_t total = 0;
+    for (const Outgoing& o : a.sends) total += o.to.size();
+    const std::size_t deliver = crash ? std::min(crash->deliver_prefix, total) : total;
+    std::size_t remaining = deliver;
+    for (const Outgoing& o : a.sends) {
+      if (remaining == 0) break;
+      const std::size_t cut = std::min(o.to.size(), remaining);
+      remaining -= cut;
+      metrics_.messages_total += cut;
+      o.to.for_each_prefix(cut, [&](int to) {
+        if (to >= 0 && to < static_cast<int>(procs_.size()) &&
+            !retired_[static_cast<std::size_t>(to)]) {
+          AsyncEvent e;
+          e.kind = AsyncEvent::Kind::kMessage;
+          e.from = static_cast<int>(p);
+          e.msg_kind = o.kind;
+          e.payload = o.payload;
+          schedule(qe.time + rng_.uniform(opt_.min_delay, opt_.max_delay), to, std::move(e));
+        }
+      });
     }
 
     if (crash) {

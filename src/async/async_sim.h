@@ -80,8 +80,10 @@ class AsyncSim {
   };
 
   // crash_after_actions[p] (if set) crashes process p on its k-th non-idle
-  // action; the crash suppresses that action's work and truncates its sends
-  // to the given prefix.
+  // action; the crash suppresses that action's work and truncates its
+  // messages to the given prefix of the flattened recipient sequence
+  // (sends in order, each audience ascending -- the synchronous
+  // simulator's prefix-cut semantics).
   struct CrashSpec {
     std::uint64_t on_nth_action = 1;
     std::size_t deliver_prefix = 0;

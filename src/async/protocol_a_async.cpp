@@ -37,9 +37,7 @@ AsyncAction AsyncProtocolAProcess::pop_plan() {
   if (op.work) {
     a.work = op.work;
   } else {
-    a.sends.reserve(op.recipients.size());
-    for (int r = op.recipients.first; r < op.recipients.end; ++r)
-      a.sends.push_back(Outgoing{r, MsgKind::kCheckpoint, op.payload});
+    a.sends.push_back(Outgoing{op.recipients, MsgKind::kCheckpoint, std::move(op.payload)});
   }
   if (plan_.empty()) {
     a.terminate = true;

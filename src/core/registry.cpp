@@ -20,7 +20,7 @@ const std::vector<ProtocolInfo>& all_protocols() {
         .make_proc = [](const DoAllConfig& cfg, int self) -> std::unique_ptr<IProcess> {
           return std::make_unique<BaselineAllProcess>(cfg, self);
         },
-        .make_proc_param = {}});
+        .make_proc_param = {}, .make_procs = {}});
     v.push_back(ProtocolInfo{
         .name = "baseline_checkpoint", .sequential = true, .strict_one_op = true,
         .make_proc = [](const DoAllConfig& cfg, int self) -> std::unique_ptr<IProcess> {
@@ -29,25 +29,26 @@ const std::vector<ProtocolInfo>& all_protocols() {
         .make_proc_param = [](const DoAllConfig& cfg, int self, std::int64_t units_per_ckpt)
             -> std::unique_ptr<IProcess> {
           return std::make_unique<BaselineCheckpointProcess>(cfg, self, units_per_ckpt);
-        }});
+        },
+        .make_procs = {}});
     v.push_back(ProtocolInfo{
         .name = "A", .sequential = true, .strict_one_op = true,
         .make_proc = [](const DoAllConfig& cfg, int self) -> std::unique_ptr<IProcess> {
           return std::make_unique<ProtocolAProcess>(cfg, self);
         },
-        .make_proc_param = {}});
+        .make_proc_param = {}, .make_procs = {}});
     v.push_back(ProtocolInfo{
         .name = "B", .sequential = true, .strict_one_op = true,
         .make_proc = [](const DoAllConfig& cfg, int self) -> std::unique_ptr<IProcess> {
           return std::make_unique<ProtocolBProcess>(cfg, self);
         },
-        .make_proc_param = {}});
+        .make_proc_param = {}, .make_procs = {}});
     v.push_back(ProtocolInfo{
         .name = "C", .sequential = true, .strict_one_op = true,
         .make_proc = [](const DoAllConfig& cfg, int self) -> std::unique_ptr<IProcess> {
           return std::make_unique<ProtocolCProcess>(cfg, self);
         },
-        .make_proc_param = {}});
+        .make_proc_param = {}, .make_procs = {}});
     v.push_back(ProtocolInfo{
         .name = "C_batch", .sequential = true, .strict_one_op = true,
         .make_proc = [](const DoAllConfig& cfg, int self) -> std::unique_ptr<IProcess> {
@@ -55,7 +56,7 @@ const std::vector<ProtocolInfo>& all_protocols() {
           o.batch_reports = true;
           return std::make_unique<ProtocolCProcess>(cfg, self, o);
         },
-        .make_proc_param = {}});
+        .make_proc_param = {}, .make_procs = {}});
     v.push_back(ProtocolInfo{
         .name = "naive_C", .sequential = true, .strict_one_op = true,
         .make_proc = [](const DoAllConfig& cfg, int self) -> std::unique_ptr<IProcess> {
@@ -63,19 +64,30 @@ const std::vector<ProtocolInfo>& all_protocols() {
           o.fault_detection = false;
           return std::make_unique<ProtocolCProcess>(cfg, self, o);
         },
-        .make_proc_param = {}});
+        .make_proc_param = {}, .make_procs = {}});
     v.push_back(ProtocolInfo{
         .name = "D", .sequential = false, .strict_one_op = true,
         .make_proc = [](const DoAllConfig& cfg, int self) -> std::unique_ptr<IProcess> {
           return std::make_unique<ProtocolDProcess>(cfg, self);
         },
-        .make_proc_param = {}});
+        .make_proc_param = {},
+        // The run's t processes share one agreement merge cache (a pure
+        // memoization of the round's collective view fold -- protocol_d.h
+        // documents why results are bit-identical with and without it).
+        .make_procs = [](const DoAllConfig& cfg) {
+          auto cache = std::make_shared<AgreeMergeCache>();
+          std::vector<std::unique_ptr<IProcess>> procs;
+          procs.reserve(static_cast<std::size_t>(cfg.t));
+          for (int i = 0; i < cfg.t; ++i)
+            procs.push_back(std::make_unique<ProtocolDProcess>(cfg, i, cache));
+          return procs;
+        }});
     v.push_back(ProtocolInfo{
         .name = "D_coord", .sequential = false, .strict_one_op = true,
         .make_proc = [](const DoAllConfig& cfg, int self) -> std::unique_ptr<IProcess> {
           return std::make_unique<ProtocolDCoordProcess>(cfg, self);
         },
-        .make_proc_param = {}});
+        .make_proc_param = {}, .make_procs = {}});
     return v;
   }();
   return kProtocols;
@@ -97,6 +109,7 @@ std::vector<std::unique_ptr<IProcess>> make_processes(const ProtocolInfo& info,
                                                       std::optional<std::int64_t> param) {
   if (param && !info.make_proc_param)
     throw std::invalid_argument("protocol " + info.name + " takes no parameter");
+  if (!param && info.make_procs) return info.make_procs(cfg);
   std::vector<std::unique_ptr<IProcess>> procs;
   procs.reserve(static_cast<std::size_t>(cfg.t));
   for (int i = 0; i < cfg.t; ++i)

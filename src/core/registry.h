@@ -28,6 +28,11 @@ struct ProtocolInfo {
   // the harness sweeps the parameter via RunOptions::protocol_param.
   std::function<std::unique_ptr<IProcess>(const DoAllConfig&, int self, std::int64_t param)>
       make_proc_param;
+  // Whole-run factory for protocols whose processes share run-scoped state
+  // (Protocol D's agreement merge cache -- a pure memoization shared by the
+  // t sibling processes of ONE run, never across runs or threads).  When
+  // set, make_processes uses this instead of t make_proc calls.
+  std::function<std::vector<std::unique_ptr<IProcess>>(const DoAllConfig&)> make_procs;
 };
 
 // All registered protocols (baselines, A, B, C, C_batch, naive_C, D).

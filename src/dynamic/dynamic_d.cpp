@@ -87,9 +87,12 @@ Action DynamicDProcess::agree_broadcast(bool finished) {
   payload->t_alive = tn_;
   payload->past_horizon = agree_past_horizon_;
   payload->finished = finished;
+  DynBitset bits(static_cast<std::size_t>(cfg_.t));
   for (int i = 0; i < cfg_.t; ++i)
-    if (i != self_ && u_[static_cast<std::size_t>(i)])
-      a.sends.push_back(Outgoing{i, MsgKind::kAgreement, payload});
+    if (i != self_ && u_[static_cast<std::size_t>(i)]) bits.set(static_cast<std::size_t>(i));
+  if (bits.any())
+    a.sends.push_back(
+        Outgoing{make_recipient_bits(std::move(bits)), MsgKind::kAgreement, std::move(payload)});
   return a;
 }
 
@@ -124,16 +127,16 @@ void DynamicDProcess::finish_agree() {
   seen_.clear();
 }
 
-Action DynamicDProcess::on_round(const RoundContext& ctx, const std::vector<Envelope>& inbox) {
+Action DynamicDProcess::on_round(const RoundContext& ctx, const InboxView& inbox) {
   if (terminated_) {
     Action a;
     a.terminate = true;
     return a;
   }
   absorb_arrivals(ctx.round);
-  for (const Envelope& env : inbox) {
-    if (const auto* m = env.as<DynAgreeMsg>(); m != nullptr && m->phase == phase_)
-      seen_[env.from] = std::static_pointer_cast<const DynAgreeMsg>(env.payload);
+  for (const Msg& msg : inbox) {
+    if (const auto* m = msg.as<DynAgreeMsg>(); m != nullptr && m->phase == phase_)
+      seen_[msg.from] = std::static_pointer_cast<const DynAgreeMsg>(msg.payload());
   }
 
   if (phase_kind_ == PhaseKind::kWork) {

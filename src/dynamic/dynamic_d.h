@@ -59,7 +59,7 @@ class DynamicDProcess final : public IProcess {
  public:
   DynamicDProcess(const DynamicConfig& cfg, int self);
 
-  Action on_round(const RoundContext& ctx, const std::vector<Envelope>& inbox) override;
+  Action on_round(const RoundContext& ctx, const InboxView& inbox) override;
   Round next_wake(const Round& now) const override;
   std::string describe() const override;
 

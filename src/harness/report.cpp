@@ -268,6 +268,27 @@ std::string to_json(const std::string& experiment, const std::vector<ScenarioRes
       if (i) out += ',';
       out += '"' + json_escape(groups[i].group) + "\":" + format_ms(groups[i].wall_ms);
     }
+    // Per-protocol rollup (first-occurrence order): total_ms alone misleads
+    // across sweeps whose protocol mix varies by tier -- the scale family
+    // drops C_batch past t = 256 (its n + t <= 440 deadline cap), so a
+    // cross-tier total silently compares different protocol sets.  Summing
+    // per protocol gives comparable curves.
+    std::vector<std::pair<std::string, double>> per_protocol;
+    for (const ScenarioResult& r : rows) {
+      bool found = false;
+      for (auto& [proto, ms] : per_protocol)
+        if (proto == r.protocol) {
+          ms += r.wall_ms;
+          found = true;
+          break;
+        }
+      if (!found) per_protocol.emplace_back(r.protocol, r.wall_ms);
+    }
+    out += "},\"per_protocol\":{";
+    for (std::size_t i = 0; i < per_protocol.size(); ++i) {
+      if (i) out += ',';
+      out += '"' + json_escape(per_protocol[i].first) + "\":" + format_ms(per_protocol[i].second);
+    }
     out += "},\"rows\":[";
     for (std::size_t i = 0; i < rows.size(); ++i) {
       if (i) out += ',';

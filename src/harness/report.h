@@ -39,9 +39,12 @@ std::string render_table(const std::vector<GroupAggregate>& groups);
 // Deterministic JSON document: {"experiment", "rows": [...], "aggregates":
 // [...]} with no timestamps or machine-dependent fields, so --jobs 1 and
 // --jobs N produce byte-identical output.  With include_timing, a trailing
-// "timing" key is appended ({"total_ms", "groups": {group: ms}}) -- the one
+// "timing" key is appended ({"total_ms", "groups": {group: ms},
+// "per_protocol": {protocol: ms}, "rows": [{id, rep, wall_ms}]}) -- the one
 // machine-dependent section, used for perf artifacts like BENCH_scale.json;
-// CI's determinism diff runs without it and stays byte-exact.
+// CI's determinism diff runs without it and stays byte-exact.  per_protocol
+// sums wall_ms by protocol so cross-tier comparisons survive sweeps whose
+// protocol mix varies by tier (the scale family drops C_batch past t=256).
 std::string to_json(const std::string& experiment, const std::vector<ScenarioResult>& rows,
                     bool include_timing = false);
 

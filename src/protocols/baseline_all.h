@@ -13,7 +13,7 @@ class BaselineAllProcess final : public IProcess {
     cfg.validate();
   }
 
-  Action on_round(const RoundContext&, const std::vector<Envelope>&) override {
+  Action on_round(const RoundContext&, const InboxView&) override {
     Action a;
     if (next_unit_ <= n_) a.work = next_unit_++;
     if (next_unit_ > n_) a.terminate = true;

@@ -17,10 +17,9 @@ Round BaselineCheckpointProcess::deadline() const {
   return Round{static_cast<std::uint64_t>(self_)} * life;
 }
 
-Action BaselineCheckpointProcess::on_round(const RoundContext& ctx,
-                                           const std::vector<Envelope>& inbox) {
-  for (const Envelope& env : inbox) {
-    if (const auto* c = env.as<BaselineCkpt>()) known_done_ = std::max(known_done_, c->done);
+Action BaselineCheckpointProcess::on_round(const RoundContext& ctx, const InboxView& inbox) {
+  for (const Msg& msg : inbox) {
+    if (const auto* c = msg.as<BaselineCkpt>()) known_done_ = std::max(known_done_, c->done);
   }
   Action a;
   if (done_) {
@@ -44,8 +43,13 @@ Action BaselineCheckpointProcess::on_round(const RoundContext& ctx,
   if (since_ckpt_ >= k_ || (all_done && since_ckpt_ > 0) || (all_done && known_done_ < n_)) {
     std::int64_t done_upto = next_unit_ - 1;
     auto payload = std::make_shared<BaselineCkpt>(done_upto);
-    for (int p = 0; p < t_; ++p)
-      if (p != self_) a.sends.push_back(Outgoing{p, MsgKind::kCheckpoint, payload});
+    // "Everyone but me" as two range-addressed sends (ids below, ids above):
+    // same ascending recipient order the per-recipient loop produced, zero
+    // per-recipient materialization.
+    if (self_ > 0)
+      a.sends.push_back(Outgoing{IdRange{0, self_}, MsgKind::kCheckpoint, payload});
+    if (self_ + 1 < t_)
+      a.sends.push_back(Outgoing{IdRange{self_ + 1, t_}, MsgKind::kCheckpoint, std::move(payload)});
     known_done_ = std::max(known_done_, done_upto);
     since_ckpt_ = 0;
     if (all_done) {

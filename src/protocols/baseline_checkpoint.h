@@ -24,7 +24,7 @@ class BaselineCheckpointProcess final : public IProcess {
  public:
   BaselineCheckpointProcess(const DoAllConfig& cfg, int self, std::int64_t k);
 
-  Action on_round(const RoundContext& ctx, const std::vector<Envelope>& inbox) override;
+  Action on_round(const RoundContext& ctx, const InboxView& inbox) override;
   Round next_wake(const Round& now) const override;
   std::string describe() const override {
     return "BaselineCkpt[" + std::to_string(self_) + ",k=" + std::to_string(k_) + "]";

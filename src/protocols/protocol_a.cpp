@@ -140,10 +140,10 @@ std::deque<ActiveOp> build_active_plan(const GroupLayout& layout, const WorkPart
 }
 
 bool is_completion_notice(const GroupLayout& layout, const WorkPartition& part, int self,
-                          const Envelope& env) {
+                          const Msg& msg) {
   const int last_sub = part.num_subchunks();
-  if (const auto* p = env.as<CkptPartial>()) return p->c == last_sub;
-  if (const auto* f = env.as<CkptFull>())
+  if (const auto* p = msg.as<CkptPartial>()) return p->c == last_sub;
+  if (const auto* f = msg.as<CkptFull>())
     return f->c == last_sub && f->g == layout.group_of(self);
   return false;
 }
@@ -167,12 +167,12 @@ Round ProtocolAProcess::takeover_deadline() const {
                             static_cast<std::uint64_t>(n_ + 3 * static_cast<std::int64_t>(t_));
 }
 
-void ProtocolAProcess::ingest(const Envelope& env) {
-  if (is_completion_notice(layout_, part_, self_, env)) completion_seen_ = true;
-  if (const auto* p = env.as<CkptPartial>()) {
-    last_ = LastCheckpoint{p->c, std::nullopt, env.from, env.sent_round + Round{1}, false};
-  } else if (const auto* f = env.as<CkptFull>()) {
-    last_ = LastCheckpoint{f->c, f->g, env.from, env.sent_round + Round{1}, false};
+void ProtocolAProcess::ingest(const Msg& msg) {
+  if (is_completion_notice(layout_, part_, self_, msg)) completion_seen_ = true;
+  if (const auto* p = msg.as<CkptPartial>()) {
+    last_ = LastCheckpoint{p->c, std::nullopt, msg.from, msg.sent_round() + Round{1}, false};
+  } else if (const auto* f = msg.as<CkptFull>()) {
+    last_ = LastCheckpoint{f->c, f->g, msg.from, msg.sent_round() + Round{1}, false};
   }
 }
 
@@ -189,9 +189,9 @@ Action ProtocolAProcess::pop_plan() {
     a.work = op.work;
     if (unit_map_.empty() && *op.work > top_unit_) top_unit_ = *op.work;
   } else {
-    a.sends.reserve(op.recipients.size());
-    for (int r = op.recipients.first; r < op.recipients.end; ++r)
-      a.sends.push_back(Outgoing{r, MsgKind::kCheckpoint, op.payload});
+    // The whole group broadcast is ONE range-addressed send; the delivery
+    // plane never materializes per-recipient messages.
+    a.sends.push_back(Outgoing{op.recipients, MsgKind::kCheckpoint, std::move(op.payload)});
   }
   if (plan_.empty()) {
     // Terminate in the same round as the final operation.
@@ -201,8 +201,8 @@ Action ProtocolAProcess::pop_plan() {
   return a;
 }
 
-Action ProtocolAProcess::on_round(const RoundContext& ctx, const std::vector<Envelope>& inbox) {
-  for (const Envelope& env : inbox) ingest(env);
+Action ProtocolAProcess::on_round(const RoundContext& ctx, const InboxView& inbox) {
+  for (const Msg& msg : inbox) ingest(msg);
 
   if (state_ == State::kDone) {
     Action a;

@@ -53,19 +53,12 @@ struct LastCheckpoint {
   bool fictitious = true;
 };
 
-// A contiguous process-id range [first, end).  Groups are consecutive id
-// ranges (groups.h), so every checkpoint broadcast's audience -- "group g"
-// or "my group above me" -- is a range; storing the endpoints instead of a
-// materialized vector<int> makes plan ops allocation-free.
-struct IdRange {
-  int first = 0;
-  int end = 0;  // exclusive
-  bool empty() const { return end <= first; }
-  std::size_t size() const { return empty() ? 0 : static_cast<std::size_t>(end - first); }
-};
-
 // One round of the active process's remaining script: either perform a work
-// unit or emit one broadcast.
+// unit or emit one broadcast.  Recipients are an IdRange (sim/message.h):
+// groups are consecutive id ranges (groups.h), so every checkpoint
+// broadcast's audience -- "group g" or "my group above me" -- is a range,
+// and the range IS the wire representation (the Action carries it as one
+// range-addressed send; the simulator never flattens it).
 struct ActiveOp {
   std::optional<std::int64_t> work;
   IdRange recipients;
@@ -130,9 +123,10 @@ std::deque<ActiveOp> build_active_plan(const GroupLayout& layout, const WorkPart
                                        const std::vector<std::int64_t>* unit_map);
 
 // True when a received checkpoint tells `self` that all work is complete
-// ("(t)" or a direct "(t, g_self)").
+// ("(t)" or a direct "(t, g_self)").  Takes the non-owning message view;
+// Envelope converts implicitly.
 bool is_completion_notice(const GroupLayout& layout, const WorkPartition& part, int self,
-                          const Envelope& env);
+                          const Msg& msg);
 
 class ProtocolAProcess final : public IProcess {
  public:
@@ -143,7 +137,7 @@ class ProtocolAProcess final : public IProcess {
   ProtocolAProcess(const DoAllConfig& cfg, int self, Round start_round = 0,
                    std::vector<std::int64_t> unit_map = {});
 
-  Action on_round(const RoundContext& ctx, const std::vector<Envelope>& inbox) override;
+  Action on_round(const RoundContext& ctx, const InboxView& inbox) override;
   Round next_wake(const Round& now) const override;
   std::string describe() const override;
 
@@ -160,7 +154,7 @@ class ProtocolAProcess final : public IProcess {
   enum class State { kPassive, kActive, kDone };
 
   Round takeover_deadline() const;  // start_round + DD(self)
-  void ingest(const Envelope& env);
+  void ingest(const Msg& msg);
   Action pop_plan();
 
   GroupLayout layout_;

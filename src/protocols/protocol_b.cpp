@@ -43,17 +43,17 @@ Round ProtocolBProcess::passive_deadline() const {
   return last_.received_round + Round{ddb(last_.from)};
 }
 
-void ProtocolBProcess::ingest(const Envelope& env) {
-  if (env.as<GoAhead>()) {
+void ProtocolBProcess::ingest(const Msg& msg) {
+  if (msg.as<GoAhead>()) {
     go_ahead_pending_ = true;
     return;
   }
-  if (is_completion_notice(layout_, part_, self_, env)) completion_seen_ = true;
-  if (const auto* p = env.as<CkptPartial>()) {
-    last_ = LastCheckpoint{p->c, std::nullopt, env.from, env.sent_round + Round{1}, false};
+  if (is_completion_notice(layout_, part_, self_, msg)) completion_seen_ = true;
+  if (const auto* p = msg.as<CkptPartial>()) {
+    last_ = LastCheckpoint{p->c, std::nullopt, msg.from, msg.sent_round() + Round{1}, false};
     if (state_ == State::kPreactive) state_ = State::kPassive;  // someone is alive below us
-  } else if (const auto* f = env.as<CkptFull>()) {
-    last_ = LastCheckpoint{f->c, f->g, env.from, env.sent_round + Round{1}, false};
+  } else if (const auto* f = msg.as<CkptFull>()) {
+    last_ = LastCheckpoint{f->c, f->g, msg.from, msg.sent_round() + Round{1}, false};
     if (state_ == State::kPreactive) state_ = State::kPassive;
   }
 }
@@ -89,9 +89,7 @@ Action ProtocolBProcess::pop_plan() {
     a.work = op.work;
     if (*op.work > top_unit_) top_unit_ = *op.work;
   } else {
-    a.sends.reserve(op.recipients.size());
-    for (int r = op.recipients.first; r < op.recipients.end; ++r)
-      a.sends.push_back(Outgoing{r, MsgKind::kCheckpoint, op.payload});
+    a.sends.push_back(Outgoing{op.recipients, MsgKind::kCheckpoint, std::move(op.payload)});
   }
   if (plan_.empty()) {
     a.terminate = true;
@@ -106,9 +104,9 @@ std::int64_t ProtocolBProcess::known_done_units() const {
   return std::max(from_ckpt, top_unit_);
 }
 
-Action ProtocolBProcess::on_round(const RoundContext& ctx, const std::vector<Envelope>& inbox) {
+Action ProtocolBProcess::on_round(const RoundContext& ctx, const InboxView& inbox) {
   go_ahead_pending_ = false;
-  for (const Envelope& env : inbox) ingest(env);
+  for (const Msg& msg : inbox) ingest(msg);
 
   if (state_ == State::kDone) {
     Action a;

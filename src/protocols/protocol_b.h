@@ -34,7 +34,7 @@ class ProtocolBProcess final : public IProcess {
  public:
   ProtocolBProcess(const DoAllConfig& cfg, int self, Round start_round = 0);
 
-  Action on_round(const RoundContext& ctx, const std::vector<Envelope>& inbox) override;
+  Action on_round(const RoundContext& ctx, const InboxView& inbox) override;
   Round next_wake(const Round& now) const override;
   std::string describe() const override;
 
@@ -52,7 +52,7 @@ class ProtocolBProcess final : public IProcess {
  private:
   enum class State { kPassive, kPreactive, kActive, kDone };
 
-  void ingest(const Envelope& env);
+  void ingest(const Msg& msg);
   void activate();
   void enter_preactive(const Round& now);
   Action pop_plan();

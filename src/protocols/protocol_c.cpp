@@ -132,7 +132,7 @@ Action ProtocolCProcess::finish(Action a) {
   return a;
 }
 
-Action ProtocolCProcess::active_step(const RoundContext& ctx, const std::vector<Envelope>& inbox) {
+Action ProtocolCProcess::active_step(const RoundContext& ctx, const InboxView& inbox) {
   const Round& r = ctx.round;
 
   // Resolve an outstanding "Are you alive?".
@@ -140,8 +140,8 @@ Action ProtocolCProcess::active_step(const RoundContext& ctx, const std::vector<
     if (r < await_->due) return Action::none();
     const int target = await_->target;
     bool replied = false;
-    for (const Envelope& env : inbox)
-      if (env.kind == MsgKind::kPollReply && env.from == target) replied = true;
+    for (const Msg& msg : inbox)
+      if (msg.kind == MsgKind::kPollReply && msg.from == target) replied = true;
     await_.reset();
     if (!replied) {
       view_.retired[static_cast<std::size_t>(target)] = 1;
@@ -197,13 +197,13 @@ Action ProtocolCProcess::active_step(const RoundContext& ctx, const std::vector<
   return finish(Action{});
 }
 
-Action ProtocolCProcess::on_round(const RoundContext& ctx, const std::vector<Envelope>& inbox) {
+Action ProtocolCProcess::on_round(const RoundContext& ctx, const InboxView& inbox) {
   // Poll replies are sent by active and inactive processes alike and are
   // exempt from the one-op-per-round rule.
   std::vector<Outgoing> replies;
-  for (const Envelope& env : inbox)
-    if (env.kind == MsgKind::kPoll)
-      replies.push_back(Outgoing{env.from, MsgKind::kPollReply, std::make_shared<PollReplyC>()});
+  for (const Msg& msg : inbox)
+    if (msg.kind == MsgKind::kPoll)
+      replies.push_back(Outgoing{msg.from, MsgKind::kPollReply, std::make_shared<PollReplyC>()});
 
   if (state_ == State::kDone) {
     Action a;
@@ -213,8 +213,8 @@ Action ProtocolCProcess::on_round(const RoundContext& ctx, const std::vector<Env
 
   if (state_ == State::kPassive) {
     bool got_ordinary = false;
-    for (const Envelope& env : inbox) {
-      if (const auto* o = env.as<OrdinaryC>()) {
+    for (const Msg& msg : inbox) {
+      if (const auto* o = msg.as<OrdinaryC>()) {
         view_.merge(o->view);
         got_ordinary = true;
       }

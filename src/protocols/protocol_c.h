@@ -99,7 +99,7 @@ class ProtocolCProcess final : public IProcess {
   ProtocolCProcess(const DoAllConfig& cfg, int self, ProtocolCOptions options = {},
                    Round start_round = 0);
 
-  Action on_round(const RoundContext& ctx, const std::vector<Envelope>& inbox) override;
+  Action on_round(const RoundContext& ctx, const InboxView& inbox) override;
   Round next_wake(const Round& now) const override;
   std::string describe() const override;
 
@@ -124,7 +124,7 @@ class ProtocolCProcess final : public IProcess {
   // target of the level-h group, advancing point/round; returns the sends
   // (empty if the group has no live target).
   std::vector<Outgoing> report_to_level(int h, const Round& now);
-  Action active_step(const RoundContext& ctx, const std::vector<Envelope>& inbox);
+  Action active_step(const RoundContext& ctx, const InboxView& inbox);
   Action finish(Action a);
 
   LevelTree tree_;

@@ -4,8 +4,79 @@
 
 namespace dowork {
 
-ProtocolDProcess::ProtocolDProcess(const DoAllConfig& cfg, int self)
-    : n_(cfg.n), t_(cfg.t), self_(self) {
+bool AgreeMergeCache::fold(int self, const Round& round, int phase,
+                           const std::vector<const AgreeMsg*>& seen, DynBitset& sn,
+                           DynBitset& tn) {
+  const int t = static_cast<int>(seen.size());
+  if (seen[static_cast<std::size_t>(self)] != nullptr) return false;  // never hears itself
+  if (!active_ || round_ != round) {
+    // New round: pin the collective view from this (lowest-id) requester --
+    // its own slot stays undefined, a later requester's prefix advance pins
+    // it -- and build the suffix folds.  All buffers are reused round over
+    // round, so a generation costs t view merges and no steady-state
+    // allocation.
+    active_ = true;
+    round_ = round;
+    phase_ = phase;
+    msgs_.assign(seen.begin(), seen.end());
+    defined_.assign(static_cast<std::size_t>(t), 1);
+    defined_[static_cast<std::size_t>(self)] = 0;
+    if (suffix_sn_.size() != static_cast<std::size_t>(t) + 1) {
+      suffix_sn_.resize(static_cast<std::size_t>(t) + 1);
+      suffix_tn_.resize(static_cast<std::size_t>(t) + 1);
+    }
+    suffix_sn_[static_cast<std::size_t>(t)] = DynBitset(sn.size(), true);  // AND identity
+    suffix_tn_[static_cast<std::size_t>(t)] = DynBitset(tn.size());        // OR identity
+    for (int j = t - 1; j >= 0; --j) {
+      suffix_sn_[static_cast<std::size_t>(j)] = suffix_sn_[static_cast<std::size_t>(j) + 1];
+      suffix_tn_[static_cast<std::size_t>(j)] = suffix_tn_[static_cast<std::size_t>(j) + 1];
+      if (const AgreeMsg* m = msgs_[static_cast<std::size_t>(j)]) {
+        suffix_sn_[static_cast<std::size_t>(j)] &= m->s_left;
+        suffix_tn_[static_cast<std::size_t>(j)] |= m->t_alive;
+      }
+    }
+    prefix_sn_ = DynBitset(sn.size(), true);
+    prefix_tn_ = DynBitset(tn.size());
+    prefix_end_ = 0;
+  } else {
+    if (phase_ != phase) return false;
+    // The cached folds only apply if this requester merges exactly the
+    // pinned set: verify entry-for-entry before touching anything.
+    // Undefined slots below `self` are fine (pinned during the prefix
+    // advance); at or above `self` they would sit inside the suffix fold,
+    // which cannot happen because requesters arrive in ascending id order.
+    for (int i = 0; i < t; ++i) {
+      if (i == self) continue;
+      const std::size_t si = static_cast<std::size_t>(i);
+      if (defined_[si]) {
+        if (msgs_[si] != seen[si]) return false;
+      } else if (i >= self) {
+        return false;
+      }
+    }
+  }
+  for (int i = prefix_end_; i < self; ++i) {
+    const std::size_t si = static_cast<std::size_t>(i);
+    if (!defined_[si]) {
+      defined_[si] = 1;
+      msgs_[si] = seen[si];
+    }
+    if (const AgreeMsg* m = msgs_[si]) {
+      prefix_sn_ &= m->s_left;
+      prefix_tn_ |= m->t_alive;
+    }
+  }
+  if (self > prefix_end_) prefix_end_ = self;
+  sn &= prefix_sn_;
+  sn &= suffix_sn_[static_cast<std::size_t>(self) + 1];
+  tn |= prefix_tn_;
+  tn |= suffix_tn_[static_cast<std::size_t>(self) + 1];
+  return true;
+}
+
+ProtocolDProcess::ProtocolDProcess(const DoAllConfig& cfg, int self,
+                                   std::shared_ptr<AgreeMergeCache> merge_cache)
+    : n_(cfg.n), t_(cfg.t), self_(self), merge_cache_(std::move(merge_cache)) {
   cfg.validate();
   s_ = DynBitset(static_cast<std::size_t>(n_), true);
   t_alive_ = DynBitset(static_cast<std::size_t>(t_), true);
@@ -45,6 +116,7 @@ void ProtocolDProcess::enter_work_phase(const Round& now) {
 
 void ProtocolDProcess::enter_agree_phase(const Round&) {
   u_ = t_alive_;
+  audience_.reset();  // u_ changed; the shared audience set is stale
   tn_ = DynBitset(static_cast<std::size_t>(t_));
   tn_.set(static_cast<std::size_t>(self_));
   sn_ = s_;
@@ -54,11 +126,14 @@ void ProtocolDProcess::enter_agree_phase(const Round&) {
 
 Action ProtocolDProcess::agree_broadcast(bool done) {
   Action a;
-  auto payload = std::make_shared<AgreeMsg>(phase_, sn_, tn_, done);
-  a.sends.reserve(static_cast<std::size_t>(t_));
-  for (int i = 0; i < t_; ++i)
-    if (i != self_ && u_.test(static_cast<std::size_t>(i)))
-      a.sends.push_back(Outgoing{i, MsgKind::kAgreement, payload});
+  if (!audience_) {
+    DynBitset bits = u_;
+    if (bits.test(static_cast<std::size_t>(self_))) bits.reset(static_cast<std::size_t>(self_));
+    audience_ = make_recipient_bits(std::move(bits));
+  }
+  if (audience_->count > 0)
+    a.sends.push_back(
+        Outgoing{audience_, MsgKind::kAgreement, std::make_shared<AgreeMsg>(phase_, sn_, tn_, done)});
   return a;
 }
 
@@ -111,7 +186,7 @@ void ProtocolDProcess::finish_agree(const Round& now) {
   early_retained_.clear();
 }
 
-Action ProtocolDProcess::on_round(const RoundContext& ctx, const std::vector<Envelope>& inbox) {
+Action ProtocolDProcess::on_round(const RoundContext& ctx, const InboxView& inbox) {
   if (terminated_) {
     Action a;
     a.terminate = true;
@@ -119,27 +194,29 @@ Action ProtocolDProcess::on_round(const RoundContext& ctx, const std::vector<Env
   }
   if (phase_kind_ == PhaseKind::kRevertA) {
     std::vector<Envelope> translated;
-    for (const Envelope& env : inbox) {
-      if (env.from < 0 || id_to_rank_[static_cast<std::size_t>(env.from)] < 0)
+    for (const Msg& msg : inbox) {
+      if (msg.from < 0 || id_to_rank_[static_cast<std::size_t>(msg.from)] < 0)
         continue;  // stale pre-revert traffic
-      Envelope e = env;
-      e.from = id_to_rank_[static_cast<std::size_t>(env.from)];
-      translated.push_back(std::move(e));
+      translated.push_back(Envelope{id_to_rank_[static_cast<std::size_t>(msg.from)], self_,
+                                    msg.kind, msg.sent_round(), msg.payload()});
     }
     Action a = revert_->on_round(ctx, translated);
-    for (Outgoing& o : a.sends) o.to = rank_to_id_[static_cast<std::size_t>(o.to)];
+    // The embedded Protocol A addresses rank-space ranges; map them back to
+    // real ids (generally non-contiguous, so ranges become bit sets).
+    for (Outgoing& o : a.sends) o.to = remap_recipients(o.to, rank_to_id_, t_);
     return a;
   }
 
   // Stash this phase's agreement messages (they may arrive one round early
   // when a peer finished the previous agreement before us).  Early arrivals
   // land while we are still in the work phase and must outlive the recycled
-  // inbox, so their payloads are retained; agreement-round arrivals are
-  // consumed before this call returns (see the seen_ comment in the header).
-  for (const Envelope& env : inbox) {
-    if (const auto* m = env.as<AgreeMsg>(); m != nullptr && m->phase == phase_) {
-      seen_[static_cast<std::size_t>(env.from)] = m;
-      if (phase_kind_ == PhaseKind::kWork) early_retained_.push_back(env.payload);
+  // round ledger, so their payloads are retained; agreement-round arrivals
+  // are consumed before this call returns (see the seen_ comment in the
+  // header).
+  for (const Msg& msg : inbox) {
+    if (const auto* m = msg.as<AgreeMsg>(); m != nullptr && m->phase == phase_) {
+      seen_[static_cast<std::size_t>(msg.from)] = m;
+      if (phase_kind_ == PhaseKind::kWork) early_retained_.push_back(msg.payload());
     }
   }
 
@@ -172,11 +249,16 @@ Action ProtocolDProcess::on_round(const RoundContext& ctx, const std::vector<Env
   }
   bool removed_any = false;
   if (!adopted) {
-    for (int i = 0; i < t_; ++i) {
-      const AgreeMsg* msg = seen_[static_cast<std::size_t>(i)];
-      if (!msg) continue;
-      sn_ &= msg->s_left;
-      tn_ |= msg->t_alive;
+    // The common case -- every recipient folding the same collective round
+    // view -- hits the run-shared prefix/suffix cache in O(1) merges; any
+    // deviation (cut broadcast, phase skew, no cache) merges the long way.
+    if (!merge_cache_ || !merge_cache_->fold(self_, ctx.round, phase_, seen_, sn_, tn_)) {
+      for (int i = 0; i < t_; ++i) {
+        const AgreeMsg* msg = seen_[static_cast<std::size_t>(i)];
+        if (!msg) continue;
+        sn_ &= msg->s_left;
+        tn_ |= msg->t_alive;
+      }
     }
     if (iter_ >= grace_) {
       for (int i = 0; i < t_; ++i) {
@@ -186,6 +268,7 @@ Action ProtocolDProcess::on_round(const RoundContext& ctx, const std::vector<Env
           removed_any = true;
         }
       }
+      if (removed_any) audience_.reset();  // u_ changed; rebuild on next broadcast
     }
   }
   std::fill(seen_.begin(), seen_.end(), nullptr);

@@ -45,11 +45,52 @@ struct AgreeMsg final : Payload {
       : phase(ph), s_left(std::move(s)), t_alive(std::move(t)), done(d) {}
 };
 
+// Run-scoped memoization of the agreement merge.  Every recipient of an
+// agreement round folds the SAME collective broadcast set (minus its own
+// message) into its views: sn &= AND over senders of s_left, tn |= OR of
+// t_alive.  Doing that independently costs Theta(t^2) view merges per round
+// -- the dominant memory traffic of the D scale rows once the broadcast
+// ledger removed the per-pair envelope churn.  The cache computes
+// "everyone except me" with prefix/suffix folds over the round's pinned
+// sender->message table: O(t) merges to build per round, O(1) merges per
+// recipient to apply.
+//
+// Why results are bit-identical: AND/OR are associative and commutative,
+// so regrouping the fold cannot change a bit, and fold() applies it only
+// after verifying the requester's seen-set matches the pinned collective
+// view entry-for-entry (any deviation -- a crash-cut broadcast that missed
+// this recipient, an early arrival from a skewed phase boundary, a silent
+// sender -- returns false and the caller merges the long way).  The cache
+// is shared by the t sibling processes of ONE run (single-threaded,
+// deterministic) and is invisible to every metric, message, and decision;
+// protocol_d_test pins cache and cache-free runs to identical metrics.
+// Requires recipients to be served in ascending process id within a round,
+// which is the simulator's step order.
+class AgreeMergeCache {
+ public:
+  // Folds the collective view of `round` minus `self` into (sn, tn) exactly
+  // as the naive loop over `seen` would; returns false (views untouched)
+  // when `seen` deviates from the pinned collective view.
+  bool fold(int self, const Round& round, int phase, const std::vector<const AgreeMsg*>& seen,
+            DynBitset& sn, DynBitset& tn);
+
+ private:
+  bool active_ = false;
+  Round round_;
+  int phase_ = 0;
+  std::vector<const AgreeMsg*> msgs_;   // pinned collective view, by sender
+  std::vector<std::uint8_t> defined_;   // msgs_[i] pinned (undefined = a past requester's own slot)
+  std::vector<DynBitset> suffix_sn_, suffix_tn_;  // [j] = fold over senders in [j, t)
+  DynBitset prefix_sn_, prefix_tn_;               // fold over senders in [0, prefix_end_)
+  int prefix_end_ = 0;
+};
+
 class ProtocolDProcess final : public IProcess {
  public:
-  ProtocolDProcess(const DoAllConfig& cfg, int self);
+  ProtocolDProcess(const DoAllConfig& cfg, int self,
+                   std::shared_ptr<AgreeMergeCache> merge_cache = nullptr);
 
-  Action on_round(const RoundContext& ctx, const std::vector<Envelope>& inbox) override;
+  Action on_round(const RoundContext& ctx, const InboxView& inbox) override;
   Round next_wake(const Round& now) const override;
   std::string describe() const override;
 
@@ -92,6 +133,12 @@ class ProtocolDProcess final : public IProcess {
   DynBitset u_;   // not yet known faulty this phase
   DynBitset tn_;  // T being accumulated
   DynBitset sn_;  // S being intersected
+  // The broadcast audience (u_ minus self) as the shared immutable set the
+  // ledger records alias (sim/message.h).  Rebuilt lazily whenever u_
+  // changes; between changes -- every iteration of a stable agreement --
+  // consecutive broadcasts share one object, so a full agreement phase
+  // allocates O(changes) audience sets, not O(iterations).
+  std::shared_ptr<const RecipientBits> audience_;
   int iter_ = 0;
   int grace_ = 0;
   bool done_ = false;
@@ -105,6 +152,7 @@ class ProtocolDProcess final : public IProcess {
   // t = 1024, where an iteration stashes ~t messages).
   std::vector<const AgreeMsg*> seen_;
   std::vector<std::shared_ptr<const Payload>> early_retained_;
+  std::shared_ptr<AgreeMergeCache> merge_cache_;  // run-shared; null = merge manually
 
   // Revert path.  The paper's case-2 bounds assume Protocol A runs over the
   // surviving processes only, so the embedded instance uses rank-in-T ids;

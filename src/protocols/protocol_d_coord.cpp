@@ -45,12 +45,25 @@ void ProtocolDCoordProcess::enter_work_phase(const Round& now) {
   for (std::int64_t u : my_slice_) s_.reset(static_cast<std::size_t>(u - 1));
 }
 
+namespace {
+
+// The audience "every member of `who` except me" as a shared recipient set.
+// The coordinator variant runs at per-table shapes, so the sets are built
+// per broadcast (Protocol D proper caches its audience across iterations).
+RecipientSet audience_of(const DynBitset& who, int self) {
+  DynBitset bits = who;
+  if (bits.test(static_cast<std::size_t>(self))) bits.reset(static_cast<std::size_t>(self));
+  return make_recipient_bits(std::move(bits));
+}
+
+}  // namespace
+
 Action ProtocolDCoordProcess::broadcast_view(bool done) {
   Action a;
-  auto payload = std::make_shared<AgreeMsg>(phase_, sn_, tn_, done);
-  for (int i = 0; i < t_; ++i)
-    if (i != self_ && t_alive_.test(static_cast<std::size_t>(i)))
-      a.sends.push_back(Outgoing{i, MsgKind::kAgreement, payload});
+  RecipientSet to = audience_of(t_alive_, self_);
+  if (!to.empty())
+    a.sends.push_back(
+        Outgoing{std::move(to), MsgKind::kAgreement, std::make_shared<AgreeMsg>(phase_, sn_, tn_, done)});
   return a;
 }
 
@@ -95,8 +108,7 @@ void ProtocolDCoordProcess::finish_phase(const Round& now) {
   std::fill(seen_.begin(), seen_.end(), nullptr);
 }
 
-Action ProtocolDCoordProcess::on_round(const RoundContext& ctx,
-                                       const std::vector<Envelope>& inbox) {
+Action ProtocolDCoordProcess::on_round(const RoundContext& ctx, const InboxView& inbox) {
   if (terminated_) {
     Action a;
     a.terminate = true;
@@ -104,21 +116,20 @@ Action ProtocolDCoordProcess::on_round(const RoundContext& ctx,
   }
   if (phase_kind_ == PhaseKind::kRevertA) {
     std::vector<Envelope> translated;
-    for (const Envelope& env : inbox) {
-      if (env.from < 0 || id_to_rank_[static_cast<std::size_t>(env.from)] < 0) continue;
-      Envelope e = env;
-      e.from = id_to_rank_[static_cast<std::size_t>(env.from)];
-      translated.push_back(std::move(e));
+    for (const Msg& msg : inbox) {
+      if (msg.from < 0 || id_to_rank_[static_cast<std::size_t>(msg.from)] < 0) continue;
+      translated.push_back(Envelope{id_to_rank_[static_cast<std::size_t>(msg.from)], self_,
+                                    msg.kind, msg.sent_round(), msg.payload()});
     }
     Action a = revert_->on_round(ctx, translated);
-    for (Outgoing& o : a.sends) o.to = rank_to_id_[static_cast<std::size_t>(o.to)];
+    for (Outgoing& o : a.sends) o.to = remap_recipients(o.to, rank_to_id_, t_);
     return a;
   }
 
-  for (const Envelope& env : inbox) {
-    if (const auto* m = env.as<AgreeMsg>(); m != nullptr && m->phase == phase_)
-      seen_[static_cast<std::size_t>(env.from)] =
-          std::static_pointer_cast<const AgreeMsg>(env.payload);
+  for (const Msg& msg : inbox) {
+    if (const auto* m = msg.as<AgreeMsg>(); m != nullptr && m->phase == phase_)
+      seen_[static_cast<std::size_t>(msg.from)] =
+          std::static_pointer_cast<const AgreeMsg>(msg.payload());
   }
 
   if (phase_kind_ == PhaseKind::kWork) {
@@ -254,12 +265,10 @@ Action ProtocolDCoordProcess::on_round(const RoundContext& ctx,
   ++iter_;
   if (adopted || stable) {
     Action a;
-    {
-      auto payload = std::make_shared<AgreeMsg>(phase_, sn_, tn_, true);
-      for (int i = 0; i < t_; ++i)
-        if (i != self_ && u_.test(static_cast<std::size_t>(i)))
-          a.sends.push_back(Outgoing{i, MsgKind::kAgreement, payload});
-    }
+    RecipientSet to = audience_of(u_, self_);
+    if (!to.empty())
+      a.sends.push_back(Outgoing{std::move(to), MsgKind::kAgreement,
+                                 std::make_shared<AgreeMsg>(phase_, sn_, tn_, true)});
     Round finish_next = ctx.round + Round{1};
     resume_at_ = resume_at_ > finish_next ? resume_at_ : finish_next;
     responded_ = true;
@@ -267,10 +276,10 @@ Action ProtocolDCoordProcess::on_round(const RoundContext& ctx,
     return a;
   }
   Action a;
-  auto payload = std::make_shared<AgreeMsg>(phase_, sn_, tn_, false);
-  for (int i = 0; i < t_; ++i)
-    if (i != self_ && u_.test(static_cast<std::size_t>(i)))
-      a.sends.push_back(Outgoing{i, MsgKind::kAgreement, payload});
+  RecipientSet to = audience_of(u_, self_);
+  if (!to.empty())
+    a.sends.push_back(Outgoing{std::move(to), MsgKind::kAgreement,
+                               std::make_shared<AgreeMsg>(phase_, sn_, tn_, false)});
   return a;
 }
 

@@ -36,7 +36,7 @@ class ProtocolDCoordProcess final : public IProcess {
  public:
   ProtocolDCoordProcess(const DoAllConfig& cfg, int self);
 
-  Action on_round(const RoundContext& ctx, const std::vector<Envelope>& inbox) override;
+  Action on_round(const RoundContext& ctx, const InboxView& inbox) override;
   Round next_wake(const Round& now) const override;
   std::string describe() const override;
 

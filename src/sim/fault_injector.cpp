@@ -49,8 +49,9 @@ std::optional<CrashPlan> RandomFaults::inspect(int, const Round&, const Action& 
   if (!rng_.chance(p_)) return std::nullopt;
   CrashPlan plan;
   plan.work_completes = rng_.chance(0.5);
-  plan.deliver_prefix =
-      action.sends.empty() ? 0 : static_cast<std::size_t>(rng_.uniform(0, action.sends.size()));
+  plan.deliver_prefix = action.sends.empty()
+                            ? 0
+                            : static_cast<std::size_t>(rng_.uniform(0, action.total_recipients()));
   return plan;
 }
 

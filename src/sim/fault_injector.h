@@ -24,8 +24,11 @@ namespace dowork {
 struct CrashPlan {
   // Does the in-progress work unit (if any) complete before the crash?
   bool work_completes = false;
-  // Which of the in-progress sends actually leave the process.  Interpreted
-  // as a prefix length into Action::sends; SIZE_MAX means "all".
+  // Which of the in-progress messages actually leave the process.
+  // Interpreted as a prefix length into the action's *flattened* message
+  // sequence -- sends in Action::sends order, each audience enumerated in
+  // ascending id order -- so a mid-broadcast cut reaches the lowest-id
+  // recipients; SIZE_MAX means "all".
   std::size_t deliver_prefix = 0;
 };
 

@@ -2,6 +2,14 @@
 
 namespace dowork {
 
+std::atomic<std::uint64_t> Payload::alloc_count_{0};
+
+namespace detail {
+
+bool same_payload_type(const std::type_info& a, const std::type_info& b) { return a == b; }
+
+}  // namespace detail
+
 const char* to_string(MsgKind k) {
   switch (k) {
     case MsgKind::kOrdinary: return "ordinary";
@@ -16,12 +24,77 @@ const char* to_string(MsgKind k) {
   return "?";
 }
 
-std::vector<Outgoing> broadcast(const std::vector<int>& recipients, MsgKind kind,
-                                std::shared_ptr<const Payload> payload) {
-  std::vector<Outgoing> out;
-  out.reserve(recipients.size());
-  for (int r : recipients) out.push_back(Outgoing{r, kind, payload});
+std::shared_ptr<const RecipientBits> make_recipient_bits(DynBitset bits) {
+  auto out = std::make_shared<RecipientBits>();
+  out->count = bits.count();
+  out->bits = std::move(bits);
   return out;
+}
+
+int RecipientSet::lowest() const {
+  if (bits_) {
+    const std::size_t i = bits_->bits.find_next(0);
+    return i < bits_->bits.size() ? static_cast<int>(i) : -1;
+  }
+  return hi_ > lo_ ? lo_ : -1;
+}
+
+bool RecipientSet::within(int t) const {
+  if (bits_)
+    // The invariant that bits at positions >= size() are zero makes the size
+    // check sufficient for the upper bound; negative ids cannot be encoded.
+    return bits_->bits.size() <= static_cast<std::size_t>(t);
+  return lo_ >= 0 && hi_ <= t;
+}
+
+std::size_t InboxView::count() const {
+  std::size_t c = 0;
+  if (recs_) {
+    for (const DeliveryRecord& r : *recs_)
+      if (r.delivers_to(self_)) ++c;
+    return c;
+  }
+  return envs_ ? envs_->size() : 0;
+}
+
+void InboxView::const_iterator::seek() {
+  if (v_ == nullptr) return;
+  if (v_->recs_) {
+    const std::vector<DeliveryRecord>& recs = *v_->recs_;
+    while (i_ < recs.size() && !recs[i_].delivers_to(v_->self_)) ++i_;
+    if (i_ < recs.size()) {
+      const DeliveryRecord& r = recs[i_];
+      cur_ = Msg{};
+      cur_.from = r.from;
+      cur_.kind = r.kind;
+      cur_.sent_round_ptr = v_->sent_round_;
+      cur_.payload_ptr = &r.payload;
+    }
+    return;
+  }
+  if (v_->envs_ && i_ < v_->envs_->size()) cur_ = Msg((*v_->envs_)[i_]);
+}
+
+Outgoing broadcast(const std::vector<int>& recipients, MsgKind kind,
+                   std::shared_ptr<const Payload> payload) {
+  std::size_t max_id = 0;
+  for (int r : recipients)
+    if (r >= 0 && static_cast<std::size_t>(r) + 1 > max_id)
+      max_id = static_cast<std::size_t>(r) + 1;
+  DynBitset bits(max_id);
+  for (int r : recipients)
+    if (r >= 0) bits.set(static_cast<std::size_t>(r));
+  return Outgoing{make_recipient_bits(std::move(bits)), kind, std::move(payload)};
+}
+
+RecipientSet remap_recipients(const RecipientSet& set, const std::vector<int>& map, int t) {
+  IdRange r = set.range();
+  if (r.size() == 1) return map[static_cast<std::size_t>(r.first)];
+  DynBitset bits(static_cast<std::size_t>(t));
+  set.for_each_prefix(set.size(), [&](int id) {
+    bits.set(static_cast<std::size_t>(map[static_cast<std::size_t>(id)]));
+  });
+  return make_recipient_bits(std::move(bits));
 }
 
 }  // namespace dowork

@@ -47,7 +47,12 @@ class SimObservable {
   // Rounds elapsed: the round currently being stepped.
   virtual const Round& rounds_elapsed() const = 0;
 
-  // Messages delivered to `proc` this round and not yet consumed by it.
+  // Messages delivered to `proc` this round and not yet consumed by it:
+  // once `proc` has been stepped (its on_round call consumed the mail) the
+  // answer is 0 for the rest of the round, exactly as it was when delivery
+  // materialized per-process inbox buffers.  The broadcast-ledger delivery
+  // plane computes this lazily (a scan of the round's ledger), so only
+  // adaptive adversaries pay for it -- never the simulator hot path.
   virtual std::size_t inbox_size(int proc) const = 0;
 
   // Committed per-process tallies (exactly the run metrics' breakdowns).

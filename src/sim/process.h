@@ -22,14 +22,26 @@ namespace dowork {
 // constant; copy it to store it).
 const Round& never_round();
 
-// What a process does in one round.
+// What a process does in one round.  A broadcast is ONE entry of `sends`
+// whose RecipientSet names the whole audience (message.h); the flattened
+// message sequence -- each send expanded to its recipients in ascending id
+// order, sends in vector order -- is what the fault injector's
+// deliver_prefix indexes into and what every message metric counts.
 struct Action {
   std::optional<std::int64_t> work;  // 1-based unit id to perform this round
-  std::vector<Outgoing> sends;       // messages emitted this round
+  std::vector<Outgoing> sends;       // sends emitted this round (audiences, not pairs)
   bool terminate = false;            // retire (voluntarily) at end of round
 
   static Action none() { return {}; }
   bool idle() const { return !work && sends.empty() && !terminate; }
+  // Total point-to-point messages this action emits: the sum of audience
+  // sizes.  (Protocols never push empty-audience sends, so sends.empty()
+  // iff total_recipients() == 0.)
+  std::size_t total_recipients() const {
+    std::size_t n = 0;
+    for (const Outgoing& o : sends) n += o.to.size();
+    return n;
+  }
 };
 
 struct RoundContext {
@@ -44,15 +56,17 @@ class IProcess {
   virtual ~IProcess() = default;
 
   // Called when the process is scheduled in a round: either its wake time
-  // arrived or the inbox is non-empty.  `inbox` holds every message sent to
-  // it in the previous round (empty vector otherwise).
+  // arrived or it received mail.  `inbox` views every message sent to it in
+  // the previous round (empty view otherwise), in emission order; iterate
+  // it as `for (const Msg& m : inbox)`.
   //
-  // Inbox reuse contract: the vector (and its Envelopes) is owned by the
-  // simulator and recycled the moment on_round returns.  A process that
-  // wants to keep a payload beyond the call must copy the Envelope's
-  // shared_ptr (cheap -- payloads are refcount-shared, never cloned); it
-  // must not retain references or pointers into the inbox itself.
-  virtual Action on_round(const RoundContext& ctx, const std::vector<Envelope>& inbox) = 0;
+  // Inbox reuse contract: the view reads the simulator's round ledger,
+  // which is recycled the moment the round's deliveries are consumed.  A
+  // process that wants to keep a payload beyond the call must copy the
+  // Msg's owning reference via Msg::payload() (cheap -- payloads are
+  // refcount-shared, never cloned); it must not retain Msg values, raw
+  // payload pointers, or iterators into the view itself.
+  virtual Action on_round(const RoundContext& ctx, const InboxView& inbox) = 0;
 
   // Earliest round >= `now` at which the process wants to be scheduled if it
   // receives no further messages; never_round() if it is purely reactive.

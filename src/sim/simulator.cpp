@@ -34,7 +34,8 @@ Simulator::Simulator(std::vector<std::unique_ptr<IProcess>> processes,
   const std::size_t t = procs_.size();
   state_.assign(t, ProcState::kAlive);
   alive_ = static_cast<int>(t);
-  inbox_.assign(t, {});
+  mail_bits_ = DynBitset(t);
+  consumed_epoch_.assign(t, 0);
   wake_.assign(t, Round{});
   queued_.assign(t, 0);
   heap_has_.assign(t, 0);
@@ -47,6 +48,19 @@ Simulator::Simulator(std::vector<std::unique_ptr<IProcess>> processes,
 void Simulator::retire(std::size_t p, ProcState to) {
   state_[p] = to;
   --alive_;
+}
+
+std::size_t Simulator::inbox_size(int proc) const {
+  const std::size_t p = static_cast<std::size_t>(proc);
+  // Mail exists only for live processes that have not consumed it yet this
+  // round (the step clears it, exactly as the per-process inbox buffers
+  // used to be cleared when on_round returned).
+  if (state_[p] != ProcState::kAlive || !mail_bits_.test(p)) return 0;
+  if (consumed_epoch_[p] == epoch_) return 0;
+  std::size_t c = 0;
+  for (const DeliveryRecord& rec : arriving_)
+    if (rec.delivers_to(proc)) ++c;
+  return c;
 }
 
 void Simulator::reschedule(std::size_t p, const Round& now) {
@@ -103,7 +117,7 @@ void Simulator::validate_strict(int proc, const Action& a) const {
   bool mixed_payload = false;
   for (const Outgoing& o : a.sends) {
     if (o.kind == MsgKind::kPollReply) continue;
-    ++protocol_sends;
+    protocol_sends += o.to.size();
     if (payload == nullptr) payload = o.payload.get();
     else if (payload != o.payload.get()) mixed_payload = true;
   }
@@ -117,8 +131,10 @@ void Simulator::validate_strict(int proc, const Action& a) const {
 
 void Simulator::step_proc(std::size_t p, const Round& r, const Round& next_r) {
   RoundContext ctx{r, static_cast<int>(p)};
-  Action a = procs_[p]->on_round(ctx, inbox_[p]);
-  inbox_[p].clear();  // capacity is kept; the buffer is reused next delivery
+  const bool has_mail = mail_bits_.test(p);
+  InboxView inbox(arriving_, arriving_round_, static_cast<int>(p), has_mail);
+  Action a = procs_[p]->on_round(ctx, inbox);
+  consumed_epoch_[p] = epoch_;  // the mail (if any) is consumed with the call
   if (opt_.strict_one_op) validate_strict(static_cast<int>(p), a);
 
   SimSnapshot snap{static_cast<int>(procs_.size()), alive_, static_cast<int>(metrics_.crashes)};
@@ -134,21 +150,30 @@ void Simulator::step_proc(std::size_t p, const Round& r, const Round& next_r) {
     if (work_sink_) work_sink_(static_cast<int>(p), *a.work, r);
   }
 
-  const std::size_t deliver =
-      plan ? std::min(plan->deliver_prefix, a.sends.size()) : a.sends.size();
-  for (std::size_t s = 0; s < deliver; ++s) {
-    Outgoing& o = a.sends[s];
-    if (o.to < 0 || o.to >= static_cast<int>(procs_.size()))
-      throw std::logic_error("send to nonexistent process " + std::to_string(o.to));
-    ++metrics_.messages_by_kind[static_cast<std::size_t>(o.kind)];
-    // Sends to already-retired processes still count (they were emitted);
-    // the delivery drain re-checks recipient state next round, which also
-    // drops messages whose recipient retires later this round.  The payload
-    // pointer is moved, not copied: a broadcast's recipients share one
-    // refcounted payload end to end.
-    in_flight_.push_back(Envelope{static_cast<int>(p), o.to, o.kind, r, std::move(o.payload)});
+  // Commit the action's sends to the round ledger: one record per send, the
+  // audience truncated to the crash plan's prefix of the *flattened*
+  // message sequence (sends in vector order, each audience in ascending id
+  // order -- exactly what the per-pair delivery enumerated).  Sends to
+  // already-retired processes still count (they were emitted); delivery
+  // re-checks recipient state next round.  The payload and audience
+  // references are moved, never copied: a broadcast costs one record
+  // regardless of fan-out.
+  const std::size_t total = a.total_recipients();
+  const std::size_t deliver = plan ? std::min(plan->deliver_prefix, total) : total;
+  std::size_t remaining = deliver;
+  for (Outgoing& o : a.sends) {
+    if (remaining == 0) break;
+    const std::size_t fanout = o.to.size();
+    const std::size_t cut = std::min(fanout, remaining);
+    remaining -= cut;
+    if (cut == 0) continue;
+    if (!o.to.within(static_cast<int>(procs_.size())))
+      throw std::logic_error("send to nonexistent process " + std::to_string(o.to.lowest()));
+    metrics_.messages_by_kind[static_cast<std::size_t>(o.kind)] += cut;
+    ledger_.push_back(
+        DeliveryRecord{static_cast<int>(p), o.kind, cut, std::move(o.to), std::move(o.payload)});
   }
-  // Totals hoisted out of the loop: a t-recipient broadcast bumps them once.
+  // Totals bumped arithmetically: a t-recipient broadcast is one add.
   metrics_.messages_total += deliver;
   metrics_.messages_by_proc[p] += deliver;
 
@@ -191,7 +216,6 @@ RunMetrics Simulator::run() {
   // step (the monotonicity contract in process.h makes the cache exact).
   for (std::size_t p = 0; p < procs_.size(); ++p) reschedule(p, Round{0});
 
-  std::vector<Envelope> arriving;  // reused swap buffer for the delivery drain
   Round r = 0;
   while (true) {
     // Terminate when every process has retired.
@@ -210,19 +234,35 @@ RunMetrics Simulator::run() {
 
     // Deliver messages sent last stepped round (they were addressed to the
     // round immediately after their send round; fast-forward never skips
-    // past deliveries because we only jump when in_flight_ is empty).
-    // swap + clear reuses both buffers' capacity round over round.
-    arriving.swap(in_flight_);
-    for (Envelope& e : arriving) {
-      const std::size_t to = static_cast<std::size_t>(e.to);
-      if (state_[to] != ProcState::kAlive) continue;
-      if (!queued_[to]) {
-        queued_[to] = 1;
-        step_list_.push_back(e.to);
-      }
-      inbox_[to].push_back(std::move(e));
+    // past deliveries because we only jump when the ledger is empty).  The
+    // ledger swap reuses both buffers' capacity round over round; the
+    // records stay readable (through InboxView) for this whole round.
+    ++epoch_;
+    arriving_.swap(ledger_);
+    ledger_.clear();
+    std::swap(arriving_round_, ledger_round_);
+    // The mail mask is only touched when there is mail: work-heavy rounds
+    // with an empty ledger (most of Protocol A/B's rounds) skip the
+    // O(t/64) clear and scan entirely.
+    if (mail_dirty_) {
+      mail_bits_.reset_all();
+      mail_dirty_ = false;
     }
-    arriving.clear();
+    if (!arriving_.empty()) {
+      mail_dirty_ = true;
+      for (const DeliveryRecord& rec : arriving_) rec.to.mark_prefix(mail_bits_, rec.cut);
+      // Live recipients of mail join the step list (in ascending id order,
+      // as bitset iteration yields them; dead recipients' mail is dropped
+      // here, exactly as per-pair delivery dropped their envelopes).
+      for (std::size_t p = mail_bits_.find_next(0); p < mail_bits_.size();
+           p = mail_bits_.find_next(p + 1)) {
+        if (state_[p] != ProcState::kAlive) continue;
+        if (!queued_[p]) {
+          queued_[p] = 1;
+          step_list_.push_back(static_cast<int>(p));
+        }
+      }
+    }
 
     // Processes whose wake time arrived join the recipients of mail.
     while (const Round* min_wake = peek_min_wake()) {
@@ -237,7 +277,7 @@ RunMetrics Simulator::run() {
     }
     // Steps must run in ascending id order (the round contract).  The list
     // is usually already sorted -- next_step_ fills in step order, mail in
-    // send order -- so check before paying for a sort.
+    // ascending id order -- so check before paying for a sort.
     if (!std::is_sorted(step_list_.begin(), step_list_.end()))
       std::sort(step_list_.begin(), step_list_.end());
 
@@ -245,6 +285,7 @@ RunMetrics Simulator::run() {
     // Crash-decision point 2: the round is about to step (delivery is done,
     // so inbox sizes are observable).  cur_round_ backs rounds_elapsed().
     cur_round_ = r;
+    ledger_round_ = r;  // sends emitted below carry this round
     faults_->on_round_start(r);
     step_round(r);
     ++metrics_.stepped_rounds;
@@ -255,7 +296,7 @@ RunMetrics Simulator::run() {
       break;
     }
 
-    if (!in_flight_.empty() || !next_step_.empty()) {
+    if (!ledger_.empty() || !next_step_.empty()) {
       r += 1;
       continue;
     }

@@ -1,7 +1,7 @@
 // Synchronous round-based simulator with crash faults and fast-forward.
 //
 // Round structure (round r):
-//   1. Messages sent in round r-1 are delivered to recipient inboxes.
+//   1. Messages sent in round r-1 are delivered to their recipients.
 //   2. Each live process that has mail or whose wake time arrived is stepped
 //      (in increasing id order; order is unobservable within a round since
 //      all sends land next round).
@@ -28,18 +28,23 @@
 //     heap instead of rescanning every process.
 //     Stale heap entries (wake changed, process retired) are dropped on pop
 //     by comparing against wake_[p] and state_[p].
-//   * Delivery is O(messages) with no per-round heap churn: in_flight_ and
-//     the per-process inboxes are flat buffers whose capacity survives
-//     clear(), the payload shared_ptr is *moved* out of the sender's Action
-//     into the recipient envelope chain, and a broadcast's payload object is
-//     refcount-shared by every recipient (one allocation per broadcast,
-//     never one per recipient -- message.h documents the ownership rules).
+//   * Delivery is a broadcast ledger, not per-pair envelopes: each send is
+//     recorded ONCE (DeliveryRecord: audience + moved payload reference +
+//     the crash prefix cut), so a round costs O(broadcasts + unicasts)
+//     regardless of fan-out -- zero per-recipient allocation or shared_ptr
+//     refcount traffic.  Recipients read the ledger lazily through
+//     InboxView (message.h documents the iteration-order and prefix-cut
+//     guarantees); per-recipient mail membership is precomputed into a
+//     bitset (word-level ORs of shared audience sets) to drive the step
+//     list and O(1) empty-inbox checks.  Message metrics are bumped
+//     arithmetically per record (audience size), never per pair.
 //   * alive_count() is an O(1) counter maintained on crash/terminate, not a
 //     scan; it is consulted once per stepping process for the fault
 //     injector's SimSnapshot.
 // None of this changes observable behavior: scheduling decisions, delivery
-// order and metrics are bit-for-bit those of the original O(t)-scan
-// simulator (tests/golden/ pins the JSON reports byte-for-byte).
+// order and metrics are bit-for-bit those of the original O(t)-scan,
+// envelope-per-pair simulator (tests/golden/ pins the JSON reports
+// byte-for-byte).
 #pragma once
 
 #include <functional>
@@ -50,6 +55,7 @@
 #include "sim/metrics.h"
 #include "sim/observable.h"
 #include "sim/process.h"
+#include "util/bitset.h"
 
 namespace dowork {
 
@@ -57,7 +63,7 @@ enum class ProcState : std::uint8_t { kAlive, kCrashed, kTerminated };
 
 // The simulator is itself the SimObservable it hands the fault injector at
 // run start (FaultInjector::attach): every accessor reads committed state —
-// metrics breakdowns, retirement flags, this round's inboxes — so adaptive
+// metrics breakdowns, retirement flags, this round's ledger — so adaptive
 // adversaries (src/adversary/) observe exactly what the model lets them.
 class Simulator final : public SimObservable {
  public:
@@ -99,9 +105,10 @@ class Simulator final : public SimObservable {
   int active_count() const override { return alive_; }
   std::uint64_t crashes_so_far() const override { return metrics_.crashes; }
   const Round& rounds_elapsed() const override { return cur_round_; }
-  std::size_t inbox_size(int proc) const override {
-    return inbox_[static_cast<std::size_t>(proc)].size();
-  }
+  // Counted lazily off the round's ledger (observable.h documents the
+  // "delivered this round and not yet consumed" semantics); only adaptive
+  // adversaries pay for it.
+  std::size_t inbox_size(int proc) const override;
   std::uint64_t units_done(int proc) const override {
     return metrics_.work_by_proc[static_cast<std::size_t>(proc)];
   }
@@ -145,8 +152,22 @@ class Simulator final : public SimObservable {
 
   std::vector<ProcState> state_;
   int alive_ = 0;
-  std::vector<std::vector<Envelope>> inbox_;  // delivered this round; reused buffers
-  std::vector<Envelope> in_flight_;           // sent this round, lands next; reused
+  // The delivery plane: sends of the round being stepped land in ledger_;
+  // at the next round's delivery the buffers swap and arriving_ holds the
+  // records recipients view through InboxView for exactly one round.  Both
+  // keep their capacity round over round.  arriving_round_ is the shared
+  // sent round of every arriving record; mail_bits_ marks the (post-cut)
+  // recipients, driving the step list and O(1) inbox-emptiness.
+  std::vector<DeliveryRecord> ledger_;
+  std::vector<DeliveryRecord> arriving_;
+  Round ledger_round_;
+  Round arriving_round_;
+  DynBitset mail_bits_;
+  bool mail_dirty_ = false;  // mail_bits_ has set bits to clear next delivery
+  // Round-scoped step bookkeeping for the observable inbox_size: a process
+  // that already consumed its mail this round reads as empty.
+  std::vector<std::uint64_t> consumed_epoch_;
+  std::uint64_t epoch_ = 0;
   std::vector<Round> wake_;                   // cached next_wake per process
   std::vector<WakeEntry> heap_;               // lazy min-heap over wake_
   std::vector<int> step_list_;                // processes to step this round; reused

@@ -15,6 +15,7 @@
 // equality, popcount and merge never see garbage.
 #pragma once
 
+#include <algorithm>
 #include <bit>
 #include <cstdint>
 #include <vector>
@@ -42,6 +43,10 @@ class DynBitset {
   bool test(std::size_t i) const { return (w_[i / 64] >> (i % 64)) & 1; }
   void set(std::size_t i) { w_[i / 64] |= std::uint64_t{1} << (i % 64); }
   void reset(std::size_t i) { w_[i / 64] &= ~(std::uint64_t{1} << (i % 64)); }
+
+  // Clears every bit, keeping the size (the simulator's per-round mail mask
+  // is reused round over round).
+  void reset_all() { std::fill(w_.begin(), w_.end(), 0); }
 
   // Number of set bits.
   std::uint64_t count() const {

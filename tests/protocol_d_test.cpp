@@ -167,6 +167,54 @@ INSTANTIATE_TEST_SUITE_P(
 
 class ProtocolDRandom : public ::testing::TestWithParam<unsigned> {};
 
+// The run-shared AgreeMergeCache is a pure memoization: with and without
+// it, every metric of the run -- work, messages, rounds, per-process and
+// per-unit breakdowns -- must be identical, including under mid-broadcast
+// prefix cuts (which force some recipients onto the slow merge path) and
+// random schedules.
+TEST(ProtocolD, MergeCacheIsObservablyInvisible) {
+  const DoAllConfig cfg{96, 12};
+  auto run_with = [&](bool cached, std::unique_ptr<FaultInjector> faults) {
+    auto cache = cached ? std::make_shared<AgreeMergeCache>() : nullptr;
+    std::vector<std::unique_ptr<IProcess>> procs;
+    for (int i = 0; i < cfg.t; ++i)
+      procs.push_back(std::make_unique<ProtocolDProcess>(cfg, i, cache));
+    Simulator::Options opts;
+    opts.strict_one_op = true;
+    opts.n_units = cfg.n;
+    return run_simulation(std::move(procs), std::move(faults), opts);
+  };
+  auto faults = [] {
+    // Crashes landing in work rounds AND mid-agreement-broadcast (half the
+    // audience cut), so both merge paths are exercised.
+    return std::make_unique<ScheduledFaults>(std::vector<ScheduledFaults::Entry>{
+        {2, 3, CrashPlan{false, 0}},
+        {5, 9, CrashPlan{true, 5}},
+        {7, 11, CrashPlan{true, 2}},
+    });
+  };
+  RunMetrics with = run_with(true, faults());
+  RunMetrics without = run_with(false, faults());
+  EXPECT_EQ(with.work_total, without.work_total);
+  EXPECT_EQ(with.messages_total, without.messages_total);
+  EXPECT_EQ(with.last_retire_round, without.last_retire_round);
+  EXPECT_EQ(with.stepped_rounds, without.stepped_rounds);
+  EXPECT_EQ(with.crashes, without.crashes);
+  EXPECT_EQ(with.unit_multiplicity, without.unit_multiplicity);
+  EXPECT_EQ(with.work_by_proc, without.work_by_proc);
+  EXPECT_EQ(with.messages_by_proc, without.messages_by_proc);
+  EXPECT_EQ(with.messages_by_kind, without.messages_by_kind);
+
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    RunMetrics a = run_with(true, std::make_unique<RandomFaults>(0.05, 11, seed));
+    RunMetrics b = run_with(false, std::make_unique<RandomFaults>(0.05, 11, seed));
+    EXPECT_EQ(a.work_total, b.work_total) << "seed " << seed;
+    EXPECT_EQ(a.messages_total, b.messages_total) << "seed " << seed;
+    EXPECT_EQ(a.last_retire_round, b.last_retire_round) << "seed " << seed;
+    EXPECT_EQ(a.work_by_proc, b.work_by_proc) << "seed " << seed;
+  }
+}
+
 TEST_P(ProtocolDRandom, RandomSchedulesAlwaysComplete) {
   DoAllConfig cfg{120, 12};
   RunResult r = run_do_all("D", cfg, std::make_unique<RandomFaults>(0.05, 11, GetParam()));

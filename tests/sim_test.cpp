@@ -19,7 +19,7 @@ class OneShotSender final : public IProcess {
  public:
   OneShotSender(int to, std::uint64_t at_round, int tag = 7)
       : to_(to), at_(at_round), tag_(tag) {}
-  Action on_round(const RoundContext& ctx, const std::vector<Envelope>&) override {
+  Action on_round(const RoundContext& ctx, const InboxView&) override {
     Action a;
     if (ctx.round >= Round{at_}) {
       a.sends.push_back(Outgoing{to_, MsgKind::kOther, std::make_shared<IntPayload>(tag_)});
@@ -40,12 +40,13 @@ class OneShotSender final : public IProcess {
 // Records the round of its first received message, then terminates.
 class Receiver final : public IProcess {
  public:
-  Action on_round(const RoundContext& ctx, const std::vector<Envelope>& inbox) override {
+  Action on_round(const RoundContext& ctx, const InboxView& inbox) override {
     Action a;
     if (!inbox.empty()) {
+      const Msg first = inbox.front();
       received_round = ctx.round;
-      received_from = inbox.front().from;
-      received_tag = inbox.front().as<IntPayload>() ? inbox.front().as<IntPayload>()->v : -1;
+      received_from = first.from;
+      received_tag = first.as<IntPayload>() ? first.as<IntPayload>()->v : -1;
       a.terminate = true;
     }
     return a;
@@ -61,7 +62,7 @@ class Receiver final : public IProcess {
 class Worker final : public IProcess {
  public:
   explicit Worker(std::int64_t n) : n_(n) {}
-  Action on_round(const RoundContext&, const std::vector<Envelope>&) override {
+  Action on_round(const RoundContext&, const InboxView&) override {
     Action a;
     if (next_ <= n_) a.work = next_++;
     if (next_ > n_) a.terminate = true;
@@ -78,10 +79,11 @@ class Worker final : public IProcess {
 class Chatterbox final : public IProcess {
  public:
   explicit Chatterbox(int t) : t_(t) {}
-  Action on_round(const RoundContext& ctx, const std::vector<Envelope>&) override {
+  Action on_round(const RoundContext& ctx, const InboxView&) override {
     Action a;
-    auto payload = std::make_shared<IntPayload>(static_cast<int>(ctx.round.to_u64_saturating()));
-    for (int p = 0; p < t_; ++p) a.sends.push_back(Outgoing{p, MsgKind::kOther, payload});
+    a.sends.push_back(Outgoing{IdRange{0, t_}, MsgKind::kOther,
+                               std::make_shared<IntPayload>(
+                                   static_cast<int>(ctx.round.to_u64_saturating()))});
     return a;
   }
   Round next_wake(const Round& now) const override { return now; }
@@ -127,7 +129,7 @@ TEST(Simulator, FastForwardWorksBeyondU64) {
   // beyond-u64 round to prove big-jump scheduling works.
   class LateActor final : public IProcess {
    public:
-    Action on_round(const RoundContext& ctx, const std::vector<Envelope>&) override {
+    Action on_round(const RoundContext& ctx, const InboxView&) override {
       acted_at = ctx.round;
       Action a;
       a.terminate = true;
@@ -172,8 +174,8 @@ TEST(Simulator, DeadlockDetected) {
 }
 
 TEST(Simulator, CrashTruncatesBroadcastToPrefix) {
-  // Process 0 broadcasts to 1..3 every round; crash it on its first action
-  // delivering only the first send.
+  // Process 0 broadcasts to 0..3 every round; crash it on its first action
+  // delivering only a prefix of the flattened recipient sequence.
   std::vector<std::unique_ptr<IProcess>> procs;
   procs.push_back(std::make_unique<Chatterbox>(4));
   std::vector<Receiver*> rx;
@@ -185,8 +187,8 @@ TEST(Simulator, CrashTruncatesBroadcastToPrefix) {
   ScheduledFaults::Entry e;
   e.proc = 0;
   e.on_nth_action = 1;
-  e.plan.deliver_prefix = 1;  // only the send to process 0 itself... see below
-  // Chatterbox sends to 0,1,2,3 in order; prefix 2 covers targets {0, 1}.
+  // Chatterbox's audience is {0,1,2,3} in ascending order; prefix 2 covers
+  // recipients {0, 1}.
   e.plan.deliver_prefix = 2;
   Simulator sim(std::move(procs), std::make_unique<ScheduledFaults>(std::vector{e}), {});
   RunMetrics m = sim.run();
@@ -232,7 +234,7 @@ TEST(Simulator, LastSurvivorNeverCrashes) {
 
 TEST(Simulator, StrictModeRejectsWorkPlusSend) {
   class Bad final : public IProcess {
-    Action on_round(const RoundContext&, const std::vector<Envelope>&) override {
+    Action on_round(const RoundContext&, const InboxView&) override {
       Action a;
       a.work = 1;
       a.sends.push_back(Outgoing{0, MsgKind::kOther, std::make_shared<IntPayload>(0)});
@@ -251,12 +253,12 @@ TEST(Simulator, StrictModeRejectsWorkPlusSend) {
 
 TEST(Simulator, StrictModeAllowsPollReplyAlongsideWork) {
   class PolledWorker final : public IProcess {
-    Action on_round(const RoundContext&, const std::vector<Envelope>& inbox) override {
+    Action on_round(const RoundContext&, const InboxView& inbox) override {
       Action a;
       a.work = 1;
-      for (const Envelope& env : inbox)
-        if (env.kind == MsgKind::kPoll)
-          a.sends.push_back(Outgoing{env.from, MsgKind::kPollReply, nullptr});
+      for (const Msg& msg : inbox)
+        if (msg.kind == MsgKind::kPoll)
+          a.sends.push_back(Outgoing{msg.from, MsgKind::kPollReply, nullptr});
       a.terminate = true;
       return a;
     }
@@ -315,15 +317,16 @@ struct CountedPayload final : Payload {
 };
 int CountedPayload::constructions = 0;
 
-// Broadcasts one CountedPayload to every other process in round 0.
+// Broadcasts one CountedPayload to every other process in round 0, via the
+// explicit-recipient-list broadcast() helper.
 class CountingBroadcaster final : public IProcess {
  public:
   explicit CountingBroadcaster(int t) : t_(t) {}
-  Action on_round(const RoundContext&, const std::vector<Envelope>&) override {
+  Action on_round(const RoundContext&, const InboxView&) override {
     Action a;
     std::vector<int> recipients;
     for (int i = 1; i < t_; ++i) recipients.push_back(i);
-    a.sends = broadcast(recipients, MsgKind::kOther, std::make_shared<CountedPayload>(42));
+    a.sends.push_back(broadcast(recipients, MsgKind::kOther, std::make_shared<CountedPayload>(42)));
     a.terminate = true;
     return a;
   }
@@ -333,16 +336,22 @@ class CountingBroadcaster final : public IProcess {
   int t_;
 };
 
-// Keeps the payload it received alive past on_round by copying the
-// envelope's shared_ptr -- the retention idiom the inbox reuse contract in
-// process.h prescribes (raw pointers into the inbox would dangle).
+// Keeps the payload it received alive past on_round by copying the Msg's
+// owning reference -- the retention idiom the inbox reuse contract in
+// process.h prescribes (raw pointers or Msg views would dangle).  Also
+// records how many owners the payload had at receipt time: under the
+// broadcast ledger that is exactly one (the ledger record), however many
+// recipients the broadcast had.
 class PayloadObserver final : public IProcess {
  public:
-  explicit PayloadObserver(std::shared_ptr<const Payload>* slot) : slot_(slot) {}
-  Action on_round(const RoundContext&, const std::vector<Envelope>& inbox) override {
+  PayloadObserver(std::shared_ptr<const Payload>* slot, long* use_count)
+      : slot_(slot), use_count_(use_count) {}
+  Action on_round(const RoundContext&, const InboxView& inbox) override {
     Action a;
     if (!inbox.empty()) {
-      *slot_ = inbox.front().payload;
+      const Msg first = inbox.front();
+      *use_count_ = first.payload().use_count();
+      *slot_ = first.payload();
       a.terminate = true;
     }
     return a;
@@ -351,39 +360,50 @@ class PayloadObserver final : public IProcess {
 
  private:
   std::shared_ptr<const Payload>* slot_;
+  long* use_count_;
 };
 
 TEST(PayloadSharing, BroadcastAllocatesOncePerBroadcastNotPerRecipient) {
   constexpr int t = 17;
   CountedPayload::constructions = 0;
   std::vector<std::shared_ptr<const Payload>> seen(t);
+  std::vector<long> owners(t, 0);
   std::vector<std::unique_ptr<IProcess>> procs;
   procs.push_back(std::make_unique<CountingBroadcaster>(t));
-  for (int i = 1; i < t; ++i) procs.push_back(std::make_unique<PayloadObserver>(&seen[i]));
+  for (int i = 1; i < t; ++i)
+    procs.push_back(std::make_unique<PayloadObserver>(&seen[i], &owners[i]));
   RunMetrics m = run_simulation(std::move(procs), std::make_unique<NoFaults>(), {});
   ASSERT_TRUE(m.all_retired);
   EXPECT_EQ(m.messages_total, static_cast<std::uint64_t>(t - 1));
 
   // One allocation for the whole t-1 recipient broadcast...
   EXPECT_EQ(CountedPayload::constructions, 1);
-  // ...and every recipient holds the SAME object (refcount sharing, no
+  // ...and every recipient reads the SAME object (refcount sharing, no
   // clones), still alive because each kept a reference.
   const auto* first = dynamic_cast<const CountedPayload*>(seen[1].get());
   ASSERT_NE(first, nullptr);
   EXPECT_EQ(first->v, 42);
   for (int i = 2; i < t; ++i) EXPECT_EQ(seen[i].get(), seen[1].get()) << "recipient " << i;
+  // Delivery holds ONE owning reference -- the ledger record -- no matter
+  // the fan-out; the envelope-per-pair plane held t-1 here.  Only the
+  // first recipient's count is asserted: later recipients also see the
+  // copies earlier observers retained, and GCC is free to elide those
+  // matched refcount updates at -O2+ (it does), so their exact counts are
+  // optimization-dependent.  The first recipient observes pure delivery
+  // state either way.
+  EXPECT_EQ(owners[1], 1);
 }
 
 TEST(PayloadSharing, ReceivedPayloadsAreImmutable) {
-  // Envelope::payload is shared_ptr<const Payload> and as<T>() yields a
-  // const pointer: a recipient cannot mutate what its peers will read.
+  // Msg::payload() is shared_ptr<const Payload> and as<T>() yields a const
+  // pointer: a recipient cannot mutate what its peers will read.
   // (Compile-time property; pinned here so a refactor that drops the const
   // turns this test red at build time.)
-  static_assert(
-      std::is_same_v<decltype(std::declval<const Envelope&>().as<CountedPayload>()),
-                     const CountedPayload*>);
-  static_assert(std::is_same_v<decltype(Envelope::payload),
+  static_assert(std::is_same_v<decltype(std::declval<const Msg&>().as<CountedPayload>()),
+                               const CountedPayload*>);
+  static_assert(std::is_same_v<std::remove_cvref_t<decltype(std::declval<const Msg&>().payload())>,
                                std::shared_ptr<const Payload>>);
+  static_assert(std::is_same_v<decltype(Envelope::payload), std::shared_ptr<const Payload>>);
   SUCCEED();
 }
 
