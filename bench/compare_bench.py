@@ -57,24 +57,31 @@ def compare_timing(args):
     regressions = []
 
     def table(title, base, cur):
+        # Groups present in only one artifact are reported as added/removed
+        # rather than failing (or being silently swallowed when nothing
+        # matches): a bench JSON that gains a new experiment family must
+        # still diff cleanly against an old baseline.
         matched = sorted(set(base) & set(cur))
-        if not matched:
+        removed = sorted(set(base) - set(cur))
+        added = sorted(set(cur) - set(base))
+        if not matched and not removed and not added:
             return
-        width = max(len("/".join(k)) for k in matched)
         print(f"-- {title} --")
-        print(f"{'key':<{width}}  {'base ms':>10}  {'cur ms':>10}  speedup")
-        for key in matched:
-            b, c = base[key], cur[key]
-            speedup = b / c if c > 0 else float("inf")
-            name = "/".join(key)
-            print(f"{name:<{width}}  {b:>10.2f}  {c:>10.2f}  {speedup:6.2f}x")
-            if (args.threshold is not None and b > 0 and c / b > args.threshold
-                    and c - b >= 1.0):
-                regressions.append((name, b, c, c / b))
-        for key in sorted(set(base) - set(cur)):
-            print(f"only in baseline: {'/'.join(key)}")
-        for key in sorted(set(cur) - set(base)):
-            print(f"only in current:  {'/'.join(key)}")
+        if matched:
+            width = max(len("/".join(k)) for k in matched)
+            print(f"{'key':<{width}}  {'base ms':>10}  {'cur ms':>10}  speedup")
+            for key in matched:
+                b, c = base[key], cur[key]
+                speedup = b / c if c > 0 else float("inf")
+                name = "/".join(key)
+                print(f"{name:<{width}}  {b:>10.2f}  {c:>10.2f}  {speedup:6.2f}x")
+                if (args.threshold is not None and b > 0 and c / b > args.threshold
+                        and c - b >= 1.0):
+                    regressions.append((name, b, c, c / b))
+        for key in removed:
+            print(f"removed (only in baseline): {'/'.join(key)}")
+        for key in added:
+            print(f"added (only in current):    {'/'.join(key)}")
 
     table("timing.groups", base_groups, cur_groups)
     if set(base_groups) == set(cur_groups):
@@ -88,6 +95,10 @@ def compare_timing(args):
         # would compare different row sets and print ratios that are purely
         # the filter, so only the matched groups are meaningful.
         print("(group sets differ: skipping per_protocol/total comparison)")
+    for exp in sorted(set(base_totals) - set(cur_totals)):
+        print(f"experiment removed (only in baseline): {exp}")
+    for exp in sorted(set(cur_totals) - set(base_totals)):
+        print(f"experiment added (only in current):    {exp}")
 
     if regressions:
         print(f"\n{len(regressions)} group(s) slower than {args.threshold}x baseline:")

@@ -4,8 +4,11 @@
 
 namespace dowork::adversary {
 
-AdaptiveFaults::AdaptiveFaults(std::unique_ptr<IAdversary> strategy, int max_crashes)
-    : strategy_(std::move(strategy)), max_crashes_(max_crashes) {
+AdaptiveFaults::AdaptiveFaults(std::unique_ptr<IAdversary> strategy, int max_crashes,
+                               int max_message_faults)
+    : strategy_(std::move(strategy)),
+      max_crashes_(max_crashes),
+      max_message_faults_(max_message_faults) {
   if (!strategy_) throw std::invalid_argument("AdaptiveFaults: null strategy");
 }
 
@@ -21,6 +24,18 @@ std::optional<CrashPlan> AdaptiveFaults::inspect(int proc, const Round& round,
   if (snap.crashed_so_far >= max_crashes_) return std::nullopt;
   if (action.idle()) return std::nullopt;
   return strategy_->decide(proc, round, action, *sim_, max_crashes_ - snap.crashed_so_far);
+}
+
+std::optional<MessageFault> AdaptiveFaults::on_message(int from, const Round& round,
+                                                       const DeliveryRecord& rec) {
+  if (sim_ == nullptr)
+    throw std::logic_error("AdaptiveFaults: on_message before attach (adaptive injectors "
+                           "only run under the synchronous Simulator)");
+  if (message_faults_spent_ >= max_message_faults_) return std::nullopt;
+  std::optional<MessageFault> fault =
+      strategy_->on_message(from, round, rec, *sim_, max_message_faults_ - message_faults_spent_);
+  if (fault) ++message_faults_spent_;
+  return fault;
 }
 
 }  // namespace dowork::adversary

@@ -43,6 +43,19 @@ class IAdversary {
   virtual std::optional<CrashPlan> decide(int proc, const Round& round, const Action& action,
                                           const SimObservable& sim, int budget_left) = 0;
 
+  // Decision point 4: record `rec` from `from` is committing; return a
+  // MessageFault to drop it (all surviving recipients) or hold it back
+  // `delay` extra rounds, or nullopt to let the network carry it.  Only
+  // consulted when the AdaptiveFaults wrapper has a message-fault budget;
+  // `budget_left` > 0 is guaranteed and a returned fault spends one unit.
+  // Network strategies (strategies.h, StrategyInfo::network) live here.
+  virtual std::optional<MessageFault> on_message(int /*from*/, const Round& /*round*/,
+                                                 const DeliveryRecord& /*rec*/,
+                                                 const SimObservable& /*sim*/,
+                                                 int /*budget_left*/) {
+    return std::nullopt;
+  }
+
   // The registry name this strategy was built under (diagnostics).
   virtual std::string name() const = 0;
 };
@@ -52,16 +65,25 @@ class IAdversary {
 // the last survivor die, exactly as for the scripted injectors.
 class AdaptiveFaults final : public FaultInjector {
  public:
-  AdaptiveFaults(std::unique_ptr<IAdversary> strategy, int max_crashes);
+  // max_message_faults is the decision-point-4 budget ("jam=" in the
+  // FaultSpec grammar); 0 keeps the injector crash-only and the simulator
+  // never routes records through the hook.
+  AdaptiveFaults(std::unique_ptr<IAdversary> strategy, int max_crashes,
+                 int max_message_faults = 0);
 
   void attach(const SimObservable& sim) override { sim_ = &sim; }
   void on_round_start(const Round& round) override;
   std::optional<CrashPlan> inspect(int proc, const Round& round, const Action& action,
                                    const SimSnapshot& snap) override;
+  bool wants_message_faults() const override { return max_message_faults_ > 0; }
+  std::optional<MessageFault> on_message(int from, const Round& round,
+                                         const DeliveryRecord& rec) override;
 
  private:
   std::unique_ptr<IAdversary> strategy_;
   int max_crashes_;
+  int max_message_faults_;
+  int message_faults_spent_ = 0;
   const SimObservable* sim_ = nullptr;
 };
 

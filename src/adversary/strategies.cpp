@@ -131,6 +131,33 @@ class RandomRestart final : public IAdversary {
   Rng rng_;
 };
 
+// --- jammer -----------------------------------------------------------------
+
+class KnowledgeJammer final : public IAdversary {
+ public:
+  std::optional<CrashPlan> decide(int, const Round&, const Action&, const SimObservable&,
+                                  int) override {
+    return std::nullopt;  // pure network adversary: never spends a crash
+  }
+
+  std::optional<MessageFault> on_message(int from, const Round&, const DeliveryRecord& rec,
+                                         const SimObservable& sim, int) override {
+    // Poll replies are reactive: dropping one erases nothing the replier
+    // would not repeat, so save the budget for deliberate announcements.
+    if (rec.kind == MsgKind::kPollReply) return std::nullopt;
+    const std::int64_t mine = sim.announced_progress(from);
+    if (mine <= 0) return std::nullopt;
+    // Same target test as `greedy`: only jam a most-knowledgeable sender,
+    // where the lost announcement cannot be re-derived from anyone else.
+    for (int p = 0; p < sim.num_procs(); ++p)
+      if (p != from && sim.is_active(p) && sim.announced_progress(p) > mine)
+        return std::nullopt;
+    return MessageFault{/*drop=*/true, /*delay=*/0};
+  }
+
+  std::string name() const override { return "jammer"; }
+};
+
 // The one table every public function (and the tournament) derives from.
 struct StrategyEntry {
   StrategyInfo info;
@@ -150,6 +177,9 @@ const std::vector<StrategyEntry>& registry() {
        }},
       {{"restart", true}, [](std::uint64_t seed) -> std::unique_ptr<IAdversary> {
          return std::make_unique<RandomRestart>(seed);
+       }},
+      {{"jammer", false, /*network=*/true}, [](std::uint64_t) -> std::unique_ptr<IAdversary> {
+         return std::make_unique<KnowledgeJammer>();
        }},
   };
   return kRegistry;

@@ -28,6 +28,12 @@
 //             biased toward announcement moments (random prefix, coin-flip
 //             unit completion).  The *search* is across repetitions — rep r
 //             draws from seed + r and the tournament keeps the worst row.
+//   jammer    Knowledge-jammer (network, decision point 4): spends its
+//             message-fault budget dropping deliberate announcements from
+//             the currently most-knowledgeable active process — the network
+//             analogue of `greedy`, erasing the same irreplaceable knowledge
+//             without spending a crash.  Runs with crashes=0; needs a jam
+//             budget (FaultSpec "jam=") to do anything.
 #pragma once
 
 #include <memory>
@@ -49,6 +55,10 @@ struct StrategyInfo {
   // (rep r uses seed + r) and keeps the worst; deterministic strategies
   // get one.
   bool stochastic = false;
+  // Operates at the message-fault decision point (needs a jam budget); the
+  // crash-only tournament loop skips these and the network tournament runs
+  // them.
+  bool network = false;
 };
 
 // The registry, in presentation order.

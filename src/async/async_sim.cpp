@@ -7,7 +7,19 @@ AsyncSim::AsyncSim(std::vector<std::unique_ptr<IAsyncProcess>> procs, Options op
     : procs_(std::move(procs)),
       opt_(options),
       crash_specs_(std::move(crash_specs)),
-      rng_(options.seed) {
+      rng_(options.seed),
+      net_model_([&] {
+        // Latency normalization: an unset latency component means the
+        // historical [min_delay, max_delay] draw, so the model always owns
+        // the delay and a default NetSpec reproduces the old event stream
+        // exactly (same rng_, same uniform bounds, same draw order).
+        NetSpec n = options.net;
+        if (n.lat_max == 0) {
+          n.lat_min = options.min_delay;
+          n.lat_max = options.max_delay;
+        }
+        return n;
+      }()) {
   const std::size_t t = procs_.size();
   crash_specs_.resize(t);
   action_count_.assign(t, 0);
@@ -82,12 +94,25 @@ AsyncMetrics AsyncSim::run() {
       o.to.for_each_prefix(cut, [&](int to) {
         if (to >= 0 && to < static_cast<int>(procs_.size()) &&
             !retired_[static_cast<std::size_t>(to)]) {
+          // Network weather, in the model's fixed decision order: partition
+          // (deterministic, no draw), then loss (one draw per surviving
+          // link), then the per-link latency draw.  Absent components cost
+          // zero draws, so the crash-only stream is untouched.
+          if (net_model_.has_partitions() &&
+              net_model_.severed(static_cast<int>(p), to, qe.time)) {
+            ++metrics_.net_blocked;
+            return;
+          }
+          if (net_model_.has_drop() && net_model_.drops(rng_)) {
+            ++metrics_.net_dropped;
+            return;
+          }
           AsyncEvent e;
           e.kind = AsyncEvent::Kind::kMessage;
           e.from = static_cast<int>(p);
           e.msg_kind = o.kind;
           e.payload = o.payload;
-          schedule(qe.time + rng_.uniform(opt_.min_delay, opt_.max_delay), to, std::move(e));
+          schedule(qe.time + net_model_.delay(rng_), to, std::move(e));
         }
       });
     }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "sim/message.h"
+#include "sim/network_model.h"
 #include "util/rng.h"
 
 namespace dowork {
@@ -58,6 +59,8 @@ struct AsyncMetrics {
   std::uint64_t messages_total = 0;  // protocol messages (FD notices excluded)
   std::uint64_t fd_notices = 0;
   std::uint64_t crashes = 0;
+  std::uint64_t net_dropped = 0;  // recipients lost to link loss (counted in messages_total)
+  std::uint64_t net_blocked = 0;  // recipients severed by a partition window
   ATime end_time = 0;
   std::vector<std::uint64_t> unit_multiplicity;
   bool all_retired = false;
@@ -77,6 +80,14 @@ class AsyncSim {
     std::uint64_t seed = 1;
     std::int64_t n_units = 0;
     std::uint64_t max_events = 10'000'000;
+    // Network weather (sim/network_model.h).  The latency component, when
+    // set, REPLACES [min_delay, max_delay] -- the historical delay range was
+    // always this model's uniform draw, now under one roof.  Loss and
+    // partition apply per recipient at send time.  Failure-detector notices
+    // ride the control plane: they model local detector timers, not network
+    // messages, so weather never drops, severs, or re-times them (the
+    // detector stays sound and complete under any NetSpec).
+    NetSpec net;
   };
 
   // crash_after_actions[p] (if set) crashes process p on its k-th non-idle
@@ -116,6 +127,10 @@ class AsyncSim {
   std::vector<bool> retired_;
   int alive_;
   Rng rng_;
+  // Latency-normalized network model (see the Options::net comment); draws
+  // come from rng_ so a noop/latency-only spec preserves the historical
+  // event stream byte for byte.
+  NetworkModel net_model_;
   std::uint64_t seq_ = 0;
   std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, std::greater<>> queue_;
   AsyncMetrics metrics_;

@@ -9,6 +9,7 @@ RunResult run_do_all(const ProtocolInfo& info, const DoAllConfig& cfg,
   sim_opts.strict_one_op = info.strict_one_op && opts.enforce_strict;
   sim_opts.max_stepped_rounds = opts.max_stepped_rounds;
   sim_opts.n_units = cfg.n;
+  sim_opts.net = opts.net;
 
   Simulator sim(make_processes(info, cfg, opts.protocol_param), std::move(faults), sim_opts);
   RunResult result;

@@ -27,6 +27,9 @@ struct RunOptions {
   // Scenario hook: tunable protocol parameter, forwarded to the registry's
   // make_proc_param factory (e.g. baseline_checkpoint's units-per-checkpoint).
   std::optional<std::int64_t> protocol_param;
+  // Network weather, forwarded to Simulator::Options verbatim (the default
+  // no-op spec keeps the run bit-for-bit crash-only).
+  NetSpec net;
 };
 
 RunResult run_do_all(const ProtocolInfo& info, const DoAllConfig& cfg,

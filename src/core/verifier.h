@@ -13,7 +13,9 @@ namespace dowork {
 // first violation:
 //   * the run must end with every process retired (no deadlock, no cap),
 //   * every unit 1..n must have been performed at least once,
-//   * sequential protocols must never have two workers in one round.
+//   * sequential protocols must never have two workers in one round --
+//     unless the network interfered with delivery (metrics.net_*), which
+//     voids the reliable-delivery premise that invariant rests on.
 std::string verify_run(const ProtocolInfo& info, const DoAllConfig& cfg,
                        const RunMetrics& metrics);
 

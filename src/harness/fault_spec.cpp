@@ -9,6 +9,31 @@
 
 namespace dowork::harness {
 
+// The grammar names kinds by variant index; keep the enum and the variant in
+// lockstep.
+static_assert(static_cast<std::size_t>(FaultSpec::Kind::kNone) == 0);
+static_assert(std::is_same_v<std::variant_alternative_t<0, FaultSpec::Crash>, std::monostate>);
+static_assert(std::is_same_v<
+              std::variant_alternative_t<static_cast<std::size_t>(FaultSpec::Kind::kCascade),
+                                         FaultSpec::Crash>,
+              CascadeSpec>);
+static_assert(std::is_same_v<
+              std::variant_alternative_t<static_cast<std::size_t>(FaultSpec::Kind::kOnUnit),
+                                         FaultSpec::Crash>,
+              OnUnitSpec>);
+static_assert(std::is_same_v<
+              std::variant_alternative_t<static_cast<std::size_t>(FaultSpec::Kind::kRandom),
+                                         FaultSpec::Crash>,
+              RandomSpec>);
+static_assert(std::is_same_v<
+              std::variant_alternative_t<static_cast<std::size_t>(FaultSpec::Kind::kScheduled),
+                                         FaultSpec::Crash>,
+              ScheduledSpec>);
+static_assert(std::is_same_v<
+              std::variant_alternative_t<static_cast<std::size_t>(FaultSpec::Kind::kAdaptive),
+                                         FaultSpec::Crash>,
+              AdaptiveSpec>);
+
 namespace {
 
 std::string prefix_str(std::size_t prefix) {
@@ -54,104 +79,116 @@ std::string find_kv(const std::vector<std::pair<std::string, std::string>>& kvs,
   throw std::invalid_argument("FaultSpec: missing field '" + key + "'");
 }
 
-}  // namespace
-
-std::unique_ptr<FaultInjector> FaultSpec::make(std::uint64_t rep) const {
-  switch (kind) {
-    case Kind::kNone:
-      return std::make_unique<NoFaults>();
-    case Kind::kCascade:
-      return std::make_unique<WorkCascadeFaults>(units_before_crash, max_crashes,
-                                                 deliver_prefix, crash_completes_unit);
-    case Kind::kOnUnit:
-      return std::make_unique<CrashOnUnitFaults>(unit, max_crashes, deliver_prefix);
-    case Kind::kRandom:
-      return std::make_unique<RandomFaults>(p, max_crashes, seed + rep);
-    case Kind::kScheduled:
-      return std::make_unique<ScheduledFaults>(entries);
-    case Kind::kAdaptive:
-      return std::make_unique<adversary::AdaptiveFaults>(
-          adversary::make_strategy(strategy, seed + rep), max_crashes);
-  }
-  throw std::logic_error("FaultSpec: bad kind");
+bool has_kv(const std::vector<std::pair<std::string, std::string>>& kvs,
+            const std::string& key) {
+  for (const auto& [k, v] : kvs)
+    if (k == key) return true;
+  return false;
 }
 
-std::string FaultSpec::to_string() const {
+// Renders the crash component alone -- exactly the v1 grammar, so every
+// pre-network spec's string is unchanged byte for byte.
+std::string crash_to_string(const FaultSpec::Crash& crash) {
   char buf[160];
-  switch (kind) {
-    case Kind::kNone:
+  switch (static_cast<FaultSpec::Kind>(crash.index())) {
+    case FaultSpec::Kind::kNone:
       return "none";
-    case Kind::kCascade:
+    case FaultSpec::Kind::kCascade: {
+      const CascadeSpec& c = std::get<CascadeSpec>(crash);
       std::snprintf(buf, sizeof buf, "cascade(units=%" PRIu64 ",crashes=%d,prefix=%s,completes=%d)",
-                    units_before_crash, max_crashes, prefix_str(deliver_prefix).c_str(),
-                    crash_completes_unit ? 1 : 0);
+                    c.units_before_crash, c.max_crashes, prefix_str(c.deliver_prefix).c_str(),
+                    c.crash_completes_unit ? 1 : 0);
       return buf;
-    case Kind::kOnUnit:
+    }
+    case FaultSpec::Kind::kOnUnit: {
+      const OnUnitSpec& c = std::get<OnUnitSpec>(crash);
       std::snprintf(buf, sizeof buf, "on_unit(unit=%lld,crashes=%d,prefix=%s)",
-                    static_cast<long long>(unit), max_crashes,
-                    prefix_str(deliver_prefix).c_str());
+                    static_cast<long long>(c.unit), c.max_crashes,
+                    prefix_str(c.deliver_prefix).c_str());
       return buf;
-    case Kind::kRandom:
+    }
+    case FaultSpec::Kind::kRandom: {
+      const RandomSpec& c = std::get<RandomSpec>(crash);
       std::snprintf(buf, sizeof buf, "random(p=%s,crashes=%d,seed=%" PRIu64 ")",
-                    double_str(p).c_str(), max_crashes, seed);
+                    double_str(c.p).c_str(), c.max_crashes, c.seed);
       return buf;
-    case Kind::kScheduled: {
+    }
+    case FaultSpec::Kind::kScheduled: {
+      const ScheduledSpec& c = std::get<ScheduledSpec>(crash);
       std::string out = "scheduled(";
-      for (std::size_t i = 0; i < entries.size(); ++i) {
-        const ScheduledFaults::Entry& e = entries[i];
+      for (std::size_t i = 0; i < c.entries.size(); ++i) {
+        const ScheduledFaults::Entry& e = c.entries[i];
         if (i) out += ';';
         out += std::to_string(e.proc) + "@" + std::to_string(e.on_nth_action) + ":" +
                (e.plan.work_completes ? "1" : "0") + ":" + prefix_str(e.plan.deliver_prefix);
       }
       return out + ")";
     }
-    case Kind::kAdaptive:
-      std::snprintf(buf, sizeof buf, "adaptive:%s(crashes=%d,seed=%" PRIu64 ")",
-                    strategy.c_str(), max_crashes, seed);
+    case FaultSpec::Kind::kAdaptive: {
+      const AdaptiveSpec& c = std::get<AdaptiveSpec>(crash);
+      if (c.max_message_faults > 0)
+        std::snprintf(buf, sizeof buf, "adaptive:%s(crashes=%d,jam=%d,seed=%" PRIu64 ")",
+                      c.strategy.c_str(), c.max_crashes, c.max_message_faults, c.seed);
+      else
+        std::snprintf(buf, sizeof buf, "adaptive:%s(crashes=%d,seed=%" PRIu64 ")",
+                      c.strategy.c_str(), c.max_crashes, c.seed);
       return buf;
+    }
   }
   throw std::logic_error("FaultSpec: bad kind");
 }
 
-FaultSpec FaultSpec::parse(const std::string& text) {
-  if (text == "none") return FaultSpec{};
+// Parses one crash component -- the v1 grammar.
+FaultSpec::Crash crash_parse(const std::string& text) {
+  if (text == "none") return std::monostate{};
   const std::size_t open = text.find('(');
   if (open == std::string::npos || text.back() != ')')
     throw std::invalid_argument("FaultSpec: malformed '" + text + "'");
   const std::string name = text.substr(0, open);
   const std::string body = text.substr(open + 1, text.size() - open - 2);
 
-  FaultSpec spec;
   if (name == "cascade") {
     const auto kvs = split_kv(body);
-    spec.kind = Kind::kCascade;
-    spec.units_before_crash = std::stoull(find_kv(kvs, "units"));
-    spec.max_crashes = std::stoi(find_kv(kvs, "crashes"));
-    spec.deliver_prefix = parse_prefix(find_kv(kvs, "prefix"));
-    spec.crash_completes_unit = find_kv(kvs, "completes") == "1";
-  } else if (name == "on_unit") {
+    CascadeSpec c;
+    c.units_before_crash = std::stoull(find_kv(kvs, "units"));
+    c.max_crashes = std::stoi(find_kv(kvs, "crashes"));
+    c.deliver_prefix = parse_prefix(find_kv(kvs, "prefix"));
+    c.crash_completes_unit = find_kv(kvs, "completes") == "1";
+    return c;
+  }
+  if (name == "on_unit") {
     const auto kvs = split_kv(body);
-    spec.kind = Kind::kOnUnit;
-    spec.unit = std::stoll(find_kv(kvs, "unit"));
-    spec.max_crashes = std::stoi(find_kv(kvs, "crashes"));
-    spec.deliver_prefix = parse_prefix(find_kv(kvs, "prefix"));
-  } else if (name == "random") {
+    OnUnitSpec c;
+    c.unit = std::stoll(find_kv(kvs, "unit"));
+    c.max_crashes = std::stoi(find_kv(kvs, "crashes"));
+    c.deliver_prefix = parse_prefix(find_kv(kvs, "prefix"));
+    return c;
+  }
+  if (name == "random") {
     const auto kvs = split_kv(body);
-    spec.kind = Kind::kRandom;
-    spec.p = std::strtod(find_kv(kvs, "p").c_str(), nullptr);
-    spec.max_crashes = std::stoi(find_kv(kvs, "crashes"));
-    spec.seed = std::stoull(find_kv(kvs, "seed"));
-  } else if (name.rfind("adaptive:", 0) == 0) {
+    RandomSpec c;
+    c.p = std::strtod(find_kv(kvs, "p").c_str(), nullptr);
+    c.max_crashes = std::stoi(find_kv(kvs, "crashes"));
+    c.seed = std::stoull(find_kv(kvs, "seed"));
+    return c;
+  }
+  if (name.rfind("adaptive:", 0) == 0) {
     const auto kvs = split_kv(body);
-    spec.kind = Kind::kAdaptive;
-    spec.strategy = name.substr(std::strlen("adaptive:"));
-    if (!adversary::is_strategy(spec.strategy))
-      throw std::invalid_argument("FaultSpec: unknown adaptive strategy '" + spec.strategy +
-                                  "'");
-    spec.max_crashes = std::stoi(find_kv(kvs, "crashes"));
-    spec.seed = std::stoull(find_kv(kvs, "seed"));
-  } else if (name == "scheduled") {
-    spec.kind = Kind::kScheduled;
+    AdaptiveSpec c;
+    c.strategy = name.substr(std::strlen("adaptive:"));
+    if (!adversary::is_strategy(c.strategy))
+      throw std::invalid_argument("FaultSpec: unknown adaptive strategy '" + c.strategy + "'");
+    c.max_crashes = std::stoi(find_kv(kvs, "crashes"));
+    if (has_kv(kvs, "jam")) {
+      c.max_message_faults = std::stoi(find_kv(kvs, "jam"));
+      if (c.max_message_faults <= 0)
+        throw std::invalid_argument("FaultSpec: jam budget must be positive (omit when 0)");
+    }
+    c.seed = std::stoull(find_kv(kvs, "seed"));
+    return c;
+  }
+  if (name == "scheduled") {
+    ScheduledSpec c;
     std::size_t pos = 0;
     while (pos < body.size()) {
       std::size_t semi = body.find(';', pos);
@@ -167,43 +204,89 @@ FaultSpec FaultSpec::parse(const std::string& text) {
       e.on_nth_action = std::stoull(item.substr(at + 1, c1 - at - 1));
       e.plan.work_completes = item.substr(c1 + 1, c2 - c1 - 1) == "1";
       e.plan.deliver_prefix = parse_prefix(item.substr(c2 + 1));
-      spec.entries.push_back(e);
+      c.entries.push_back(e);
       pos = semi + 1;
     }
-  } else {
-    throw std::invalid_argument("FaultSpec: unknown adversary '" + name + "'");
+    return c;
   }
-  return spec;
+  throw std::invalid_argument("FaultSpec: unknown adversary '" + name + "'");
 }
 
-bool operator==(const FaultSpec& a, const FaultSpec& b) {
-  if (a.kind != b.kind) return false;
-  switch (a.kind) {
-    case FaultSpec::Kind::kNone:
-      return true;
-    case FaultSpec::Kind::kCascade:
-      return a.units_before_crash == b.units_before_crash && a.max_crashes == b.max_crashes &&
-             a.deliver_prefix == b.deliver_prefix &&
-             a.crash_completes_unit == b.crash_completes_unit;
-    case FaultSpec::Kind::kOnUnit:
-      return a.unit == b.unit && a.max_crashes == b.max_crashes &&
-             a.deliver_prefix == b.deliver_prefix;
-    case FaultSpec::Kind::kRandom:
-      return a.p == b.p && a.max_crashes == b.max_crashes && a.seed == b.seed;
-    case FaultSpec::Kind::kAdaptive:
-      return a.strategy == b.strategy && a.max_crashes == b.max_crashes && a.seed == b.seed;
-    case FaultSpec::Kind::kScheduled:
-      if (a.entries.size() != b.entries.size()) return false;
-      for (std::size_t i = 0; i < a.entries.size(); ++i) {
-        const ScheduledFaults::Entry &x = a.entries[i], &y = b.entries[i];
-        if (x.proc != y.proc || x.on_nth_action != y.on_nth_action ||
-            x.plan.work_completes != y.plan.work_completes ||
-            x.plan.deliver_prefix != y.plan.deliver_prefix)
-          return false;
-      }
-      return true;
+}  // namespace
+
+std::unique_ptr<FaultInjector> FaultSpec::make(std::uint64_t rep) const {
+  switch (kind()) {
+    case Kind::kNone:
+      return std::make_unique<NoFaults>();
+    case Kind::kCascade: {
+      const CascadeSpec& c = std::get<CascadeSpec>(crash);
+      return std::make_unique<WorkCascadeFaults>(c.units_before_crash, c.max_crashes,
+                                                 c.deliver_prefix, c.crash_completes_unit);
+    }
+    case Kind::kOnUnit: {
+      const OnUnitSpec& c = std::get<OnUnitSpec>(crash);
+      return std::make_unique<CrashOnUnitFaults>(c.unit, c.max_crashes, c.deliver_prefix);
+    }
+    case Kind::kRandom: {
+      const RandomSpec& c = std::get<RandomSpec>(crash);
+      return std::make_unique<RandomFaults>(c.p, c.max_crashes, c.seed + rep);
+    }
+    case Kind::kScheduled:
+      return std::make_unique<ScheduledFaults>(std::get<ScheduledSpec>(crash).entries);
+    case Kind::kAdaptive: {
+      const AdaptiveSpec& c = std::get<AdaptiveSpec>(crash);
+      return std::make_unique<adversary::AdaptiveFaults>(
+          adversary::make_strategy(c.strategy, c.seed + rep), c.max_crashes,
+          c.max_message_faults);
+    }
   }
-  return false;
+  throw std::logic_error("FaultSpec: bad kind");
+}
+
+std::string FaultSpec::to_string() const {
+  if (net.is_noop()) return crash_to_string(crash);
+  if (kind() == Kind::kNone) return "net=" + net.to_string();
+  return "crash=" + crash_to_string(crash) + ";net=" + net.to_string();
+}
+
+FaultSpec FaultSpec::parse(const std::string& text) {
+  if (text.empty()) throw std::invalid_argument("FaultSpec: empty spec");
+  // Split into top-level parts on ';' at paren depth 0 (scheduled entries
+  // and partition windows keep their inner semicolons).
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  int depth = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '(') ++depth;
+    else if (text[i] == ')') --depth;
+    else if (text[i] == ';' && depth == 0) {
+      parts.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  if (depth != 0) throw std::invalid_argument("FaultSpec: unbalanced parens in '" + text + "'");
+  parts.push_back(text.substr(start));
+  if (parts.size() > 2)
+    throw std::invalid_argument("FaultSpec: too many components in '" + text + "'");
+
+  FaultSpec spec;
+  bool have_crash = false, have_net = false;
+  for (const std::string& part : parts) {
+    if (part.empty()) throw std::invalid_argument("FaultSpec: empty component in '" + text + "'");
+    if (part.rfind("net=", 0) == 0) {
+      if (have_net)
+        throw std::invalid_argument("FaultSpec: duplicate net component in '" + text + "'");
+      have_net = true;
+      spec.net = NetSpec::parse(part.substr(std::strlen("net=")));
+    } else {
+      if (have_crash)
+        throw std::invalid_argument("FaultSpec: duplicate crash component in '" + text + "'");
+      have_crash = true;
+      const bool tagged = part.rfind("crash=", 0) == 0;
+      spec.crash = crash_parse(tagged ? part.substr(std::strlen("crash=")) : part);
+    }
+  }
+  return spec;
 }
 
 FaultSpec FaultSpec::none() { return FaultSpec{}; }
@@ -211,47 +294,40 @@ FaultSpec FaultSpec::none() { return FaultSpec{}; }
 FaultSpec FaultSpec::cascade(std::uint64_t units, int crashes, std::size_t prefix,
                              bool completes) {
   FaultSpec s;
-  s.kind = Kind::kCascade;
-  s.units_before_crash = units;
-  s.max_crashes = crashes;
-  s.deliver_prefix = prefix;
-  s.crash_completes_unit = completes;
+  s.crash = CascadeSpec{units, crashes, prefix, completes};
   return s;
 }
 
 FaultSpec FaultSpec::on_unit(std::int64_t unit, int crashes, std::size_t prefix) {
   FaultSpec s;
-  s.kind = Kind::kOnUnit;
-  s.unit = unit;
-  s.max_crashes = crashes;
-  s.deliver_prefix = prefix;
+  s.crash = OnUnitSpec{unit, crashes, prefix};
   return s;
 }
 
 FaultSpec FaultSpec::random(double p, int crashes, std::uint64_t seed) {
   FaultSpec s;
-  s.kind = Kind::kRandom;
-  s.p = p;
-  s.max_crashes = crashes;
-  s.seed = seed;
+  s.crash = RandomSpec{p, crashes, seed};
   return s;
 }
 
 FaultSpec FaultSpec::scheduled(std::vector<ScheduledFaults::Entry> entries) {
   FaultSpec s;
-  s.kind = Kind::kScheduled;
-  s.entries = std::move(entries);
+  s.crash = ScheduledSpec{std::move(entries)};
   return s;
 }
 
-FaultSpec FaultSpec::adaptive(const std::string& strategy, int crashes, std::uint64_t seed) {
+FaultSpec FaultSpec::adaptive(const std::string& strategy, int crashes, std::uint64_t seed,
+                              int jam) {
   if (!adversary::is_strategy(strategy))
     throw std::invalid_argument("FaultSpec: unknown adaptive strategy '" + strategy + "'");
   FaultSpec s;
-  s.kind = Kind::kAdaptive;
-  s.strategy = strategy;
-  s.max_crashes = crashes;
-  s.seed = seed;
+  s.crash = AdaptiveSpec{strategy, crashes, jam, seed};
+  return s;
+}
+
+FaultSpec FaultSpec::with_net(NetSpec net_spec) const {
+  FaultSpec s = *this;
+  s.net = std::move(net_spec);
   return s;
 }
 

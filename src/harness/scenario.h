@@ -66,6 +66,9 @@ struct Scenario {
   // bound_msgs* / bound_rounds* are additionally *checked* against the
   // measured row (exceeding one is a violation) and reported as
   // bound_margin_* columns -- percent of the bound consumed, rounded up.
+  // With "report_bounds" = 1 (the network families) the same bound_margin_*
+  // columns appear but never flip ok: network faults sit outside the
+  // crash-only theorems, so a >100% margin measures degradation there.
   std::map<std::string, std::int64_t> params;
 
   std::int64_t param_or(const std::string& key, std::int64_t fallback) const {

@@ -30,6 +30,16 @@ struct CrashPlan {
   // ascending id order -- so a mid-broadcast cut reaches the lowest-id
   // recipients; SIZE_MAX means "all".
   std::size_t deliver_prefix = 0;
+
+  friend bool operator==(const CrashPlan&, const CrashPlan&) = default;
+};
+
+// The adversary's verdict on one committed send (decision point 4 below):
+// erase the record, or hold it back for `delay` extra rounds beyond the
+// normal next-round delivery.  A drop wins over any delay.
+struct MessageFault {
+  bool drop = false;
+  std::uint64_t delay = 0;
 };
 
 struct SimSnapshot {
@@ -51,7 +61,16 @@ class SimObservable;
 //                         one decision — the mid-broadcast prefix cut
 //                         (deliver_prefix) and the crash-after-the-unit-but-
 //                         before-reporting-it choice (work_completes).
-// The scripted injectors below ignore hooks 1 and 2 (the defaults are
+//   4. on_message()     — per committed send (post crash cut), when the
+//                         injector opted in via wants_message_faults(): the
+//                         returned MessageFault drops the record or delays
+//                         it, modeling an adversary that owns the wire
+//                         instead of the processes.  The observable-state
+//                         rules are identical to the crash points: the
+//                         injector sees the committed record and the same
+//                         SimObservable window it was attached with, nothing
+//                         more.
+// The scripted injectors below ignore hooks 1, 2 and 4 (the defaults are
 // no-ops), so existing executions are bit-for-bit unchanged.
 class FaultInjector {
  public:
@@ -65,6 +84,17 @@ class FaultInjector {
   // live.
   virtual std::optional<CrashPlan> inspect(int proc, const Round& round, const Action& action,
                                            const SimSnapshot& snap) = 0;
+  // Decision point 4: `rec` (sent by `from` in `round`, crash cut already
+  // applied) is about to enter the delivery plane.  Only consulted when
+  // wants_message_faults() returned true at attach time, which also routes
+  // the run through the network delivery path; injectors that leave both
+  // defaults keep the crash-only hot path bit-for-bit.
+  virtual std::optional<MessageFault> on_message(int /*from*/, const Round& /*round*/,
+                                                 const DeliveryRecord& /*rec*/) {
+    return std::nullopt;
+  }
+  // Cached by the simulator once per run, alongside attach().
+  virtual bool wants_message_faults() const { return false; }
 };
 
 // No process ever fails.
@@ -85,6 +115,8 @@ class ScheduledFaults final : public FaultInjector {
     int proc = -1;
     std::uint64_t on_nth_action = 1;  // 1 = first non-idle action
     CrashPlan plan;
+
+    friend bool operator==(const Entry&, const Entry&) = default;
   };
   explicit ScheduledFaults(std::vector<Entry> entries);
 

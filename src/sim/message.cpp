@@ -67,7 +67,7 @@ void InboxView::const_iterator::seek() {
       cur_ = Msg{};
       cur_.from = r.from;
       cur_.kind = r.kind;
-      cur_.sent_round_ptr = v_->sent_round_;
+      cur_.sent_round_ptr = v_->sent_rounds_ ? &(*v_->sent_rounds_)[i_] : v_->sent_round_;
       cur_.payload_ptr = &r.payload;
     }
     return;

@@ -298,9 +298,15 @@ class InboxView {
   InboxView() = default;
   InboxView(const std::vector<Envelope>& envelopes)  // NOLINT(runtime/explicit)
       : envs_(&envelopes), any_(!envelopes.empty()) {}
+  // Ledger mode.  `sent_round` is the shared sent round of every record;
+  // when the delivery plane mixes in latency-delayed records (the network
+  // path, sim/network_model.h) it passes `per_record_rounds` -- aligned
+  // index-for-index with `records` -- and each message reports its own
+  // sent round instead.
   InboxView(const std::vector<DeliveryRecord>& records, const Round& sent_round, int self,
-            bool any)
-      : recs_(&records), sent_round_(&sent_round), self_(self), any_(any) {}
+            bool any, const std::vector<Round>* per_record_rounds = nullptr)
+      : recs_(&records), sent_round_(&sent_round), sent_rounds_(per_record_rounds),
+        self_(self), any_(any) {}
 
   bool empty() const { return !any_; }
   // Number of messages in the view; O(ledger records), for tests and
@@ -357,6 +363,7 @@ class InboxView {
   const std::vector<DeliveryRecord>* recs_ = nullptr;
   const std::vector<Envelope>* envs_ = nullptr;
   const Round* sent_round_ = nullptr;
+  const std::vector<Round>* sent_rounds_ = nullptr;  // per-record, network path
   int self_ = -1;
   bool any_ = false;
 };

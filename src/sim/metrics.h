@@ -37,6 +37,13 @@ struct RunMetrics {
   // Max number of distinct processes performing work in a single round.
   // == 1 for the sequential protocols (A/B/C), up to t for Protocol D.
   std::uint64_t max_concurrent_workers = 0;
+  // Network plane (sim/network_model.h); all zero on crash-only runs, and
+  // the emitted message totals above count sends as emitted regardless --
+  // the network eats deliveries, not the sender's bill.  Loss and severed
+  // links count point-to-point (per recipient lost); delays count records.
+  std::uint64_t net_dropped = 0;  // recipients lost to loss draws / message faults
+  std::uint64_t net_blocked = 0;  // recipients severed by a partition window
+  std::uint64_t net_delayed = 0;  // records delivered later than the next round
   // Per-unit multiplicity (how often each unit of work was performed); the
   // work-optimality proofs bound sum(multiplicity) <= c*n + c'*t.
   std::vector<std::uint64_t> unit_multiplicity;  // index = unit-1

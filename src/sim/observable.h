@@ -66,6 +66,24 @@ class SimObservable {
   // committed units_done() tallies for units `proc` is mid-performing.
   // See process.h for the exact contract and the per-protocol caveats.
   virtual std::int64_t announced_progress(int proc) const = 0;
+
+  // --- network visibility -----------------------------------------------
+  // Read-only view of the delivery plane, under the same committed-state
+  // rules as the crash accessors: both report state the adversary could
+  // reconstruct from the wire it already controls, and neither exposes
+  // anything about *future* draws of the network model.  Defaulted so
+  // substrates (and test doubles) without a network plane read as a calm
+  // network.
+  //
+  // Broadcast records committed to the delivery plane and not yet delivered:
+  // this round's ledger plus every record a latency draw or message fault
+  // holds for a later round.  Counted in records (a t-recipient broadcast is
+  // one), matching the ledger's own accounting.
+  virtual std::uint64_t in_flight_messages() const { return 0; }
+  // Partition id of `proc` at the round/time being stepped: 0 when no
+  // partition window is in force, 1 for ids below the in-force window's
+  // split, 2 for the rest (sim/network_model.h).
+  virtual int current_partition(int /*proc*/) const { return 0; }
 };
 
 }  // namespace dowork

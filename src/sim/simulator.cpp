@@ -27,7 +27,11 @@ const Round& never() { return never_round(); }
 
 Simulator::Simulator(std::vector<std::unique_ptr<IProcess>> processes,
                      std::unique_ptr<FaultInjector> faults, Options options)
-    : procs_(std::move(processes)), faults_(std::move(faults)), opt_(options) {
+    : procs_(std::move(processes)),
+      faults_(std::move(faults)),
+      opt_(std::move(options)),
+      net_model_(opt_.net),
+      net_rng_(opt_.net.seed) {
   // The two-tier Round exists so heap entries stay this small; 3 per cache
   // line instead of the 72 bytes the flat 512-bit representation cost.
   static_assert(sizeof(WakeEntry) <= 24);
@@ -132,7 +136,8 @@ void Simulator::validate_strict(int proc, const Action& a) const {
 void Simulator::step_proc(std::size_t p, const Round& r, const Round& next_r) {
   RoundContext ctx{r, static_cast<int>(p)};
   const bool has_mail = mail_bits_.test(p);
-  InboxView inbox(arriving_, arriving_round_, static_cast<int>(p), has_mail);
+  InboxView inbox(arriving_, arriving_round_, static_cast<int>(p), has_mail,
+                  net_active_ ? &arriving_sent_rounds_ : nullptr);
   Action a = procs_[p]->on_round(ctx, inbox);
   consumed_epoch_[p] = epoch_;  // the mail (if any) is consumed with the call
   if (opt_.strict_one_op) validate_strict(static_cast<int>(p), a);
@@ -170,8 +175,11 @@ void Simulator::step_proc(std::size_t p, const Round& r, const Round& next_r) {
     if (!o.to.within(static_cast<int>(procs_.size())))
       throw std::logic_error("send to nonexistent process " + std::to_string(o.to.lowest()));
     metrics_.messages_by_kind[static_cast<std::size_t>(o.kind)] += cut;
-    ledger_.push_back(
-        DeliveryRecord{static_cast<int>(p), o.kind, cut, std::move(o.to), std::move(o.payload)});
+    DeliveryRecord rec{static_cast<int>(p), o.kind, cut, std::move(o.to), std::move(o.payload)};
+    if (net_active_)
+      commit_record(std::move(rec), r);
+    else
+      ledger_.push_back(std::move(rec));
   }
   // Totals bumped arithmetically: a t-recipient broadcast is one add.
   metrics_.messages_total += deliver;
@@ -186,6 +194,62 @@ void Simulator::step_proc(std::size_t p, const Round& r, const Round& next_r) {
   } else {
     reschedule(p, next_r);
   }
+}
+
+void Simulator::commit_record(DeliveryRecord rec, const Round& r) {
+  // Decision order per network_model.h: adversary hook, partition filter,
+  // loss draws, latency draw.  Emission accounting already happened in
+  // step_proc -- the network eats deliveries, not the sender's bill.
+  std::uint64_t extra_delay = 0;
+  const std::size_t members = std::min(rec.cut, rec.to.size());
+  if (wants_msg_faults_) {
+    if (std::optional<MessageFault> f = faults_->on_message(rec.from, r, rec)) {
+      if (f->drop) {
+        metrics_.net_dropped += members;
+        return;
+      }
+      extra_delay = f->delay;
+    }
+  }
+  if (net_model_.has_partitions() || net_model_.has_drop()) {
+    // Filter the crash-cut audience prefix down to the recipients the
+    // network lets through.  Severed links are deterministic and consume no
+    // randomness; each surviving link costs one loss draw, in ascending id
+    // order.  Any loss turns the record's audience into one fresh bitset --
+    // the single audience edit the delivery plane was built for.
+    const std::uint64_t now = r.to_u64_saturating();
+    DynBitset survivors(procs_.size());
+    std::size_t kept = 0;
+    bool lost_any = false;
+    rec.to.for_each_prefix(members, [&](int id) {
+      if (net_model_.has_partitions() && net_model_.severed(rec.from, id, now)) {
+        ++metrics_.net_blocked;
+        lost_any = true;
+        return;
+      }
+      if (net_model_.has_drop() && net_model_.drops(net_rng_)) {
+        ++metrics_.net_dropped;
+        lost_any = true;
+        return;
+      }
+      survivors.set(static_cast<std::size_t>(id));
+      ++kept;
+    });
+    if (kept == 0) return;
+    if (lost_any) {
+      rec.to = make_recipient_bits(std::move(survivors));
+      rec.cut = kept;
+    }
+  }
+  if (net_model_.has_latency()) extra_delay += net_model_.delay(net_rng_);
+  if (extra_delay == 0) {
+    ledger_.push_back(std::move(rec));
+    return;
+  }
+  ++metrics_.net_delayed;
+  Round due = r + Round{extra_delay + 1};  // normal delivery is r + 1
+  future_[std::move(due)].push_back(DelayedRecord{std::move(rec), r});
+  ++future_count_;
 }
 
 void Simulator::step_round(const Round& r) {
@@ -210,6 +274,11 @@ RunMetrics Simulator::run() {
   // Crash-decision point 1: hand adaptive injectors the committed-state
   // view before anything happens (a no-op for the scripted injectors).
   faults_->attach(*this);
+  // The network delivery path is opted into once per run: by a non-noop
+  // network model, or by an injector that faults messages (decision point
+  // 4).  Everything else runs the crash-only path untouched.
+  wants_msg_faults_ = faults_->wants_message_faults();
+  net_active_ = wants_msg_faults_ || !net_model_.is_noop();
 
   // Seed the wake cache: every process is asked once, up front, when it
   // first wants to run; from here on next_wake is re-queried only after a
@@ -241,6 +310,21 @@ RunMetrics Simulator::run() {
     arriving_.swap(ledger_);
     ledger_.clear();
     std::swap(arriving_round_, ledger_round_);
+    if (net_active_) {
+      // Ledger records all share the swap-in sent round; latency-held
+      // records due exactly now join them with their own sent rounds.
+      // (Delivery rounds are never skipped: the loop advances one round at
+      // a time and fast-forward clamps its jump to the earliest due bucket.)
+      arriving_sent_rounds_.assign(arriving_.size(), arriving_round_);
+      for (auto it = future_.begin(); it != future_.end() && it->first == r;) {
+        for (DelayedRecord& d : it->second) {
+          arriving_.push_back(std::move(d.rec));
+          arriving_sent_rounds_.push_back(std::move(d.sent));
+          --future_count_;
+        }
+        it = future_.erase(it);
+      }
+    }
     // The mail mask is only touched when there is mail: work-heavy rounds
     // with an empty ledger (most of Protocol A/B's rounds) skip the
     // O(t/64) clear and scan entirely.
@@ -305,8 +389,15 @@ RunMetrics Simulator::run() {
     // next-round steppers were just checked), so the heap top is the exact
     // minimum the old per-process scan computed.  Arithmetic runs in place
     // on r / one gap temporary: with Protocol C's promoted round numbers a
-    // by-value formulation cost three heap clones per jump.
+    // by-value formulation cost three heap clones per jump.  With the
+    // network plane live, a latency-held record is as good as a timer: the
+    // jump clamps to the earliest due bucket, and pending records mean the
+    // run is not deadlocked.
     const Round* min_wake = peek_min_wake();
+    if (!future_.empty()) {
+      const Round& min_due = future_.begin()->first;
+      if (min_wake == nullptr || min_due < *min_wake) min_wake = &min_due;
+    }
     if (min_wake == nullptr) {
       metrics_.deadlocked = true;  // live processes, no mail, no timers
       break;

@@ -48,14 +48,17 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <vector>
 
 #include "sim/fault_injector.h"
 #include "sim/metrics.h"
+#include "sim/network_model.h"
 #include "sim/observable.h"
 #include "sim/process.h"
 #include "util/bitset.h"
+#include "util/rng.h"
 
 namespace dowork {
 
@@ -76,6 +79,10 @@ class Simulator final : public SimObservable {
     std::uint64_t max_stepped_rounds = 50'000'000;
     // Number of distinct work units (for multiplicity tracking); 0 = none.
     std::int64_t n_units = 0;
+    // Network weather (sim/network_model.h).  The default is a no-op spec:
+    // the run never enters the network delivery path and is bit-for-bit the
+    // crash-only execution.
+    NetSpec net;
   };
 
   // Called whenever a unit of work is actually performed (post fault
@@ -119,6 +126,14 @@ class Simulator final : public SimObservable {
   std::int64_t announced_progress(int proc) const override {
     return procs_[static_cast<std::size_t>(proc)]->known_done_units();
   }
+  // Network visibility (observable.h): this round's ledger plus every
+  // latency-held record, counted in records.
+  std::uint64_t in_flight_messages() const override {
+    return static_cast<std::uint64_t>(ledger_.size()) + future_count_;
+  }
+  int current_partition(int proc) const override {
+    return net_model_.partition_side(proc, cur_round_.to_u64_saturating());
+  }
 
  private:
   // One lazy min-heap entry; stale when wake != wake_[proc] or the process
@@ -134,6 +149,11 @@ class Simulator final : public SimObservable {
 
   void step_round(const Round& r);
   void step_proc(std::size_t p, const Round& r, const Round& next_r);
+  // Network delivery path (net_active_ only): runs the committed record
+  // through the injector's message hook, the partition filter, the loss
+  // draws and the latency draw (network_model.h documents the order), then
+  // files it in the ledger or the future buffer.
+  void commit_record(DeliveryRecord rec, const Round& r);
   void validate_strict(int proc, const Action& a) const;
   void retire(std::size_t p, ProcState to);
   // Re-queries next_wake(now) for p (clamped forward to `now`) and updates
@@ -162,6 +182,22 @@ class Simulator final : public SimObservable {
   std::vector<DeliveryRecord> arriving_;
   Round ledger_round_;
   Round arriving_round_;
+  // Network plane (populated only when net_active_): records a latency draw
+  // or adversarial message fault holds back, keyed by delivery round, each
+  // with its own sent round; arriving_sent_rounds_ mirrors arriving_
+  // index-for-index so InboxView can report per-record sent rounds.  The
+  // no-net path never touches any of it.
+  struct DelayedRecord {
+    DeliveryRecord rec;
+    Round sent;
+  };
+  std::map<Round, std::vector<DelayedRecord>> future_;
+  std::uint64_t future_count_ = 0;
+  std::vector<Round> arriving_sent_rounds_;
+  NetworkModel net_model_;
+  Rng net_rng_{0};
+  bool net_active_ = false;        // net model live or injector faults messages
+  bool wants_msg_faults_ = false;  // cached FaultInjector::wants_message_faults
   DynBitset mail_bits_;
   bool mail_dirty_ = false;  // mail_bits_ has set bits to clear next delivery
   // Round-scoped step bookkeeping for the observable inbox_size: a process

@@ -29,6 +29,17 @@ TEST(FaultSpec, RoundTripsEveryKind) {
       FaultSpec::scheduled({{0, 1, CrashPlan{false, 4}}, {3, 9, CrashPlan{true, SIZE_MAX}}}),
       FaultSpec::adaptive("greedy", 15, 42),
       FaultSpec::adaptive("restart", 7),
+      FaultSpec::adaptive("jammer", 0, 1, /*jam=*/8),
+      // Composed v2 forms: every crash kind with a network component, and
+      // the net-only spec (tests/fault_spec_fuzz_test.cpp hammers the full
+      // grammar; this table pins one of each shape).
+      FaultSpec::none().with_net(NetSpec::latency(1, 20, 7)),
+      FaultSpec::cascade(7, 15, 2, false).with_net(NetSpec::lossy(0.05, 3)),
+      FaultSpec::on_unit(63, 31, 1).with_net(NetSpec::partition({{8, 40, 4}}, 0)),
+      FaultSpec::random(0.05, 15, 42).with_net(NetSpec::latency(2, 5, 1)),
+      FaultSpec::scheduled({{0, 1, CrashPlan{false, 4}}})
+          .with_net(NetSpec::partition({{4, 24, 8}, {48, 64, 2}}, 9)),
+      FaultSpec::adaptive("jammer", 0, 1, /*jam=*/16).with_net(NetSpec::lossy(0.02, 5)),
   };
   for (const FaultSpec& spec : specs) {
     const std::string text = spec.to_string();
