@@ -124,8 +124,12 @@ def load(path):
         for t in timing.get("rows", []):
             key = (exp, t["id"], t.get("rep", 0))
             rows[key] = t["wall_ms"]
-        if not timing.get("rows"):
+        if "rows" not in timing:
             # Older reports carry only per-group timing; fall back to groups.
+            # A *present but empty* rows list is not the old format -- it is a
+            # run whose filter matched nothing, and inventing group-keyed
+            # pseudo-rows for it would silently compare nothing against the
+            # other side's per-repetition rows.
             for group, ms in timing.get("groups", {}).items():
                 rows[(exp, group, 0)] = ms
     return rows, totals

@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Tests for bench/compare_bench.py (stdlib unittest, no dependencies).
+
+Covers both comparison modes and their edge cases: per-repetition rows with
+and without --threshold (including the 1 ms absolute guard against
+scheduler noise on sub-ms rows), --timing group diffs with added/removed
+groups, the old-format groups fallback, the present-but-empty timing.rows
+case, and the missing-timing-section error.  Run directly or via CTest
+(compare_bench_test).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "compare_bench.py")
+
+
+def report(experiment, rows=None, groups=None, per_protocol=None, total=0.0,
+           omit_rows=False, omit_timing=False):
+    """One dowork_bench --timing JSON document."""
+    doc = {"experiment": experiment}
+    if omit_timing:
+        return doc
+    timing = {"total_ms": total}
+    if not omit_rows:
+        timing["rows"] = [
+            {"id": rid, "rep": rep, "wall_ms": ms} for (rid, rep, ms) in (rows or [])
+        ]
+    if groups is not None:
+        timing["groups"] = groups
+    if per_protocol is not None:
+        timing["per_protocol"] = per_protocol
+    doc["timing"] = timing
+    return doc
+
+
+class CompareBenchTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+
+    def write(self, name, doc):
+        path = os.path.join(self.dir.name, name)
+        with open(path, "w") as f:
+            json.dump(doc, f)
+        return path
+
+    def run_compare(self, base, cur, *flags):
+        return subprocess.run(
+            [sys.executable, SCRIPT, base, cur, *flags],
+            capture_output=True, text=True)
+
+    # --- per-repetition row mode -------------------------------------------
+
+    def test_matched_rows_within_threshold_pass(self):
+        base = self.write("b.json", report("scale", rows=[("t=64/A", 0, 10.0)], total=10.0))
+        cur = self.write("c.json", report("scale", rows=[("t=64/A", 0, 12.0)], total=12.0))
+        r = self.run_compare(base, cur, "--threshold", "2.0")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("t=64/A", r.stdout)
+        self.assertIn("total[scale]", r.stdout)
+
+    def test_row_regression_fails_threshold(self):
+        base = self.write("b.json", report("scale", rows=[("t=64/A", 0, 10.0)]))
+        cur = self.write("c.json", report("scale", rows=[("t=64/A", 0, 35.0)]))
+        r = self.run_compare(base, cur, "--threshold", "2.0")
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("slower than 2.0x baseline", r.stdout)
+
+    def test_sub_millisecond_rows_cannot_trip_threshold(self):
+        # 10x slower but the absolute delta is under 1 ms: scheduler noise,
+        # not a regression.
+        base = self.write("b.json", report("scale", rows=[("t=64/A", 0, 0.05)]))
+        cur = self.write("c.json", report("scale", rows=[("t=64/A", 0, 0.5)]))
+        r = self.run_compare(base, cur, "--threshold", "2.0")
+        self.assertEqual(r.returncode, 0, r.stdout)
+
+    def test_without_threshold_always_exits_zero(self):
+        base = self.write("b.json", report("scale", rows=[("t=64/A", 0, 1.0)]))
+        cur = self.write("c.json", report("scale", rows=[("t=64/A", 0, 100.0)]))
+        r = self.run_compare(base, cur)
+        self.assertEqual(r.returncode, 0, r.stdout)
+
+    def test_unmatched_rows_are_listed_but_never_fail(self):
+        base = self.write("b.json", report(
+            "scale", rows=[("t=64/A", 0, 5.0), ("t=64/B", 0, 5.0)]))
+        cur = self.write("c.json", report(
+            "scale", rows=[("t=64/A", 0, 5.0), ("t=128/A", 0, 99.0)]))
+        r = self.run_compare(base, cur, "--threshold", "1.1")
+        self.assertEqual(r.returncode, 0, r.stdout)
+        self.assertIn("only in baseline: scale/t=64/B", r.stdout)
+        self.assertIn("only in current:  scale/t=128/A", r.stdout)
+
+    def test_old_format_without_rows_falls_back_to_groups(self):
+        base = self.write("b.json", report(
+            "scale", omit_rows=True, groups={"t=64": 10.0}))
+        cur = self.write("c.json", report(
+            "scale", omit_rows=True, groups={"t=64": 12.0}))
+        r = self.run_compare(base, cur, "--threshold", "2.0")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("scale/t=64/0", r.stdout)
+
+    def test_empty_rows_list_is_not_the_old_format(self):
+        # A run whose filter matched nothing has rows == []; it must not
+        # fabricate group-keyed pseudo-rows that silently compare nothing
+        # against the other side's real per-repetition rows.
+        base = self.write("b.json", report(
+            "scale", rows=[("t=64/A", 0, 5.0)], groups={"t=64": 5.0}))
+        cur = self.write("c.json", report(
+            "scale", rows=[], groups={"t=64": 5.0}))
+        r = self.run_compare(base, cur)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("only in baseline: scale/t=64/A", r.stdout)
+        self.assertNotIn("only in current", r.stdout)
+
+    def test_missing_timing_section_is_an_error(self):
+        base = self.write("b.json", report("scale", omit_timing=True))
+        cur = self.write("c.json", report("scale", rows=[("t=64/A", 0, 1.0)]))
+        r = self.run_compare(base, cur)
+        self.assertNotEqual(r.returncode, 0)
+        self.assertIn("no 'timing' section", r.stderr)
+
+    def test_list_of_documents_is_accepted(self):
+        base = self.write("b.json", [
+            report("scale", rows=[("t=64/A", 0, 1.0)], total=1.0),
+            report("protocol_a", rows=[("n=16t/A", 0, 2.0)], total=2.0),
+        ])
+        cur = self.write("c.json", [
+            report("scale", rows=[("t=64/A", 0, 1.0)], total=1.0),
+            report("protocol_a", rows=[("n=16t/A", 0, 2.0)], total=2.0),
+        ])
+        r = self.run_compare(base, cur, "--threshold", "1.5")
+        self.assertEqual(r.returncode, 0, r.stdout)
+        self.assertIn("total[protocol_a]", r.stdout)
+
+    # --- --timing group mode ------------------------------------------------
+
+    def test_timing_mode_prints_speedups_and_totals(self):
+        base = self.write("b.json", report(
+            "scale", rows=[], groups={"t=64": 20.0, "t=128": 40.0},
+            per_protocol={"A": 30.0}, total=60.0))
+        cur = self.write("c.json", report(
+            "scale", rows=[], groups={"t=64": 10.0, "t=128": 20.0},
+            per_protocol={"A": 15.0}, total=30.0))
+        r = self.run_compare(base, cur, "--timing")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("timing.groups", r.stdout)
+        self.assertIn("2.00x", r.stdout)
+        self.assertIn("timing.per_protocol", r.stdout)
+        self.assertIn("total[scale]: 60.0 ms -> 30.0 ms (2.00x speedup)", r.stdout)
+
+    def test_timing_mode_threshold_regression_fails(self):
+        base = self.write("b.json", report("scale", rows=[], groups={"t=64": 10.0}))
+        cur = self.write("c.json", report("scale", rows=[], groups={"t=64": 50.0}))
+        r = self.run_compare(base, cur, "--timing", "--threshold", "2.0")
+        self.assertEqual(r.returncode, 1, r.stdout)
+        self.assertIn("slower than 2.0x baseline", r.stdout)
+
+    def test_timing_mode_added_and_removed_groups(self):
+        # Group sets differing must report added/removed and skip the
+        # per-protocol/total comparison (the ratios would only measure the
+        # filter), never fail.
+        base = self.write("b.json", report(
+            "scale", rows=[], groups={"t=64": 10.0, "t=128": 20.0},
+            per_protocol={"A": 15.0}, total=30.0))
+        cur = self.write("c.json", report(
+            "scale", rows=[], groups={"t=64": 10.0, "t=256": 40.0},
+            per_protocol={"A": 25.0}, total=50.0))
+        r = self.run_compare(base, cur, "--timing", "--threshold", "1.1")
+        self.assertEqual(r.returncode, 0, r.stdout)
+        self.assertIn("removed (only in baseline): scale/t=128", r.stdout)
+        self.assertIn("added (only in current):    scale/t=256", r.stdout)
+        self.assertIn("skipping per_protocol/total comparison", r.stdout)
+        self.assertNotIn("timing.per_protocol", r.stdout)
+
+    def test_timing_mode_added_experiment_is_reported(self):
+        base = self.write("b.json", [report("scale", rows=[], groups={"t=64": 1.0})])
+        cur = self.write("c.json", [
+            report("scale", rows=[], groups={"t=64": 1.0}),
+            report("wan_latency", rows=[], groups={"p2p": 2.0}),
+        ])
+        r = self.run_compare(base, cur, "--timing")
+        self.assertEqual(r.returncode, 0, r.stdout)
+        self.assertIn("experiment added (only in current):    wan_latency", r.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

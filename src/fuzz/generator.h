@@ -1,0 +1,63 @@
+// Random-but-valid scenario generation for the fuzzing campaign.
+//
+// Each case is drawn independently from the cross-product of protocol x
+// shape x FaultSpec v2 (crash component x network component), constrained to
+// the region where the paper's theorems -- and therefore the bound oracle --
+// apply:
+//
+//   * shapes respect each protocol's validity envelope: t >= 2, n >= t for
+//     the work protocols, n + t <= kCRoundBudget for C/C_batch (the 512-bit
+//     deadline budget), n a multiple of t and the crash budget a minority
+//     (f <= t/2 - 1) for D's case-1 bounds;
+//   * crash budgets stay within t - 1 (the protocols assume at least one
+//     survivor), so every crash-only case runs under assert_bounds = 1: any
+//     execution above a bound is a genuine finding;
+//   * network weather (latency / loss / partitions, A/B only -- the paper's
+//     other protocols assume reliable delivery too rigidly to terminate
+//     under arbitrary weather) and the jammer's message faults sit outside
+//     the crash-only theorems, so those cases run under report_bounds = 1:
+//     margins are recorded (and histogrammed by the campaign) but cannot
+//     flip ok; completion and unit coverage are still enforced by the
+//     verifier.  Partition windows always heal and loss stays light, so
+//     every generated case is expected to complete.
+//
+// Generation is per-index deterministic: case k of seed S draws from
+// Rng(mix(S, k)) only, so any subset of a campaign regenerates identically
+// and the parallel runner's schedule cannot perturb the cases.  Every
+// generated FaultSpec is additionally round-trip checked through
+// parse(to_string()) -- the generator doubles as a grammar fuzzer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/scenario.h"
+
+namespace dowork::fuzz {
+
+struct GeneratorOptions {
+  std::uint64_t seed = 42;
+  // Scale every attached bound to max(1, bound * tighten_pct / 100).  100
+  // asserts the paper bounds verbatim; smaller values plant deliberate
+  // violations for shrinker/replay testing.
+  int tighten_pct = 100;
+};
+
+// Deterministically attach the (possibly tightened) paper bounds for the
+// scenario's protocol and crash budget, plus the assert_bounds /
+// report_bounds flag per the policy above.  Replaces any bound params
+// already present; shared by the generator and the shrinker so a mutated
+// scenario is always re-judged against the bounds of its *new* shape.
+void attach_fuzz_bounds(harness::Scenario& s, int tighten_pct);
+
+// The crash budget a FaultSpec's crash component can spend (0 for none).
+int crash_budget_of(const harness::FaultSpec& spec);
+
+// Case `index` of the campaign with the given options.  Pure data: no
+// injector_override, repetitions = 1, id "case<index>/<protocol>".
+harness::Scenario generate_case(const GeneratorOptions& opts, int index);
+
+// All cases [0, count).
+std::vector<harness::Scenario> generate_cases(const GeneratorOptions& opts, int count);
+
+}  // namespace dowork::fuzz

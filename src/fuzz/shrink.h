@@ -1,0 +1,56 @@
+// Greedy minimization of a violating scenario.
+//
+// Given a failing case, the shrinker walks a fixed candidate-mutation list
+// -- halve/decrement t, halve/decrement n, halve/decrement the crash
+// budget, drop scheduled-kill entries, strip network clauses (latency,
+// loss, partitions), drop the crash component entirely -- re-normalizing
+// the scenario to validity after each step (budgets clamped below t, D's
+// shape kept divisible with a minority budget, C's shape inside the 512-bit
+// deadline budget, partition splits inside [1, t-1]) and re-attaching the
+// bound oracle for the *new* shape.  A mutation is accepted only when the
+// mutated case still fails with the same violation category (bound breach
+// vs invariant/completion) AND is strictly smaller under a scalar size
+// metric, so the loop terminates; on acceptance the mutation list restarts
+// from the top.  The result is a locally-minimal reproducer: no single
+// candidate mutation preserves the failure.
+//
+// Every candidate execution is recorded (fuzz/trace.h), so the outcome
+// carries the minimal case's decision trace: `dowork_fuzz --replay` on the
+// emitted file reproduces the minimal violation bit-identically.
+#pragma once
+
+#include <string>
+
+#include "fuzz/trace.h"
+#include "harness/scenario.h"
+
+namespace dowork::fuzz {
+
+struct ShrinkOptions {
+  // The tightening under which the violation was found; re-applied after
+  // every mutation so the oracle matches the campaign's.
+  int tighten_pct = 100;
+  // Execution budget: the greedy loop stops early after this many candidate
+  // runs (each candidate is one full simulated execution).
+  int max_attempts = 400;
+};
+
+struct ShrinkOutcome {
+  harness::Scenario minimal;      // locally-minimal still-failing scenario
+  harness::ScenarioResult row;    // its (recorded) result row
+  Trace trace;                    // its decision trace, outcome filled
+  int accepted = 0;               // mutations that survived re-checking
+  int attempts = 0;               // candidate executions performed
+};
+
+// True when the violation text is a bound breach (scenario.cpp's
+// assert_bounds grammar: "<measure> <amount> exceeds <key>=<bound>");
+// anything else -- verifier invariants, incompletion, exceptions -- is the
+// invariant category.
+bool is_bound_violation(const std::string& violation);
+
+// Minimize `failing` (which must currently fail; throws
+// std::invalid_argument otherwise).
+ShrinkOutcome shrink(const harness::Scenario& failing, const ShrinkOptions& opts = {});
+
+}  // namespace dowork::fuzz

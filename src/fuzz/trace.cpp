@@ -1,0 +1,308 @@
+#include "fuzz/trace.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "harness/fault_spec.h"
+
+namespace dowork::fuzz {
+
+namespace {
+
+harness::Substrate substrate_from(const std::string& name) {
+  if (name == "sync") return harness::Substrate::kSync;
+  if (name == "async") return harness::Substrate::kAsync;
+  throw std::invalid_argument("trace: unsupported substrate '" + name + "'");
+}
+
+[[noreturn]] void bad_line(const std::string& line) {
+  throw std::invalid_argument("trace: malformed line '" + line + "'");
+}
+
+std::uint64_t parse_u64(const std::string& tok, const std::string& line) {
+  try {
+    std::size_t used = 0;
+    const std::uint64_t v = std::stoull(tok, &used);
+    if (used != tok.size()) bad_line(line);
+    return v;
+  } catch (const std::invalid_argument&) {
+    bad_line(line);
+  } catch (const std::out_of_range&) {
+    bad_line(line);
+  }
+}
+
+bool parse_bool(const std::string& tok, const std::string& line) {
+  if (tok == "0") return false;
+  if (tok == "1") return true;
+  bad_line(line);
+}
+
+}  // namespace
+
+std::string Trace::to_string() const {
+  std::ostringstream out;
+  out << "dowork-trace v1\n";
+  out << "id " << id << "\n";
+  out << "substrate " << substrate << "\n";
+  out << "protocol " << protocol << "\n";
+  out << "n " << n << "\n";
+  out << "t " << t << "\n";
+  out << "seed " << seed << "\n";
+  out << "faults " << faults << "\n";
+  for (const auto& [key, value] : params) out << "param " << key << " " << value << "\n";
+  out << "wants_msg_faults " << (wants_message_faults ? 1 : 0) << "\n";
+  for (const TraceCrash& c : crashes)
+    out << "crash " << c.inspect_idx << " " << c.proc << " " << (c.work_completes ? 1 : 0)
+        << " " << c.deliver_prefix << "\n";
+  for (const TraceMessageFault& f : message_faults)
+    out << "msgfault " << f.msg_idx << " " << (f.drop ? 1 : 0) << " " << f.delay << "\n";
+  out << "result ok " << (outcome.ok ? 1 : 0) << "\n";
+  out << "result work " << outcome.work << "\n";
+  out << "result msgs " << outcome.messages << "\n";
+  out << "result effort " << outcome.effort << "\n";
+  out << "result crashes " << outcome.crashes << "\n";
+  out << "result rounds " << outcome.rounds << "\n";
+  // The violation text may contain spaces; it is always the last line's
+  // tail, and the line is omitted when empty.
+  if (!outcome.violation.empty()) out << "result violation " << outcome.violation << "\n";
+  out << "end\n";
+  return out.str();
+}
+
+Trace Trace::parse(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "dowork-trace v1")
+    throw std::invalid_argument("trace: missing 'dowork-trace v1' header");
+  Trace tr;
+  bool saw_end = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line == "end") {
+      saw_end = true;
+      break;
+    }
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    auto next = [&]() -> std::string {
+      std::string tok;
+      if (!(ls >> tok)) bad_line(line);
+      return tok;
+    };
+    auto tail = [&]() -> std::string {
+      std::string rest;
+      std::getline(ls, rest);
+      if (!rest.empty() && rest.front() == ' ') rest.erase(0, 1);
+      return rest;
+    };
+    if (tag == "id") {
+      tr.id = next();
+    } else if (tag == "substrate") {
+      tr.substrate = next();
+    } else if (tag == "protocol") {
+      tr.protocol = next();
+    } else if (tag == "n") {
+      tr.n = static_cast<std::int64_t>(parse_u64(next(), line));
+    } else if (tag == "t") {
+      tr.t = static_cast<int>(parse_u64(next(), line));
+    } else if (tag == "seed") {
+      tr.seed = parse_u64(next(), line);
+    } else if (tag == "faults") {
+      tr.faults = next();
+    } else if (tag == "param") {
+      const std::string key = next();
+      const std::string value = next();
+      // Params are int64 but always non-negative in practice; reuse the u64
+      // parser and narrow.
+      tr.params[key] = static_cast<std::int64_t>(parse_u64(value, line));
+    } else if (tag == "wants_msg_faults") {
+      tr.wants_message_faults = parse_bool(next(), line);
+    } else if (tag == "crash") {
+      TraceCrash c;
+      c.inspect_idx = parse_u64(next(), line);
+      c.proc = static_cast<int>(parse_u64(next(), line));
+      c.work_completes = parse_bool(next(), line);
+      c.deliver_prefix = static_cast<std::size_t>(parse_u64(next(), line));
+      tr.crashes.push_back(c);
+    } else if (tag == "msgfault") {
+      TraceMessageFault f;
+      f.msg_idx = parse_u64(next(), line);
+      f.drop = parse_bool(next(), line);
+      f.delay = parse_u64(next(), line);
+      tr.message_faults.push_back(f);
+    } else if (tag == "result") {
+      const std::string field = next();
+      if (field == "ok") {
+        tr.outcome.ok = parse_bool(next(), line);
+      } else if (field == "work") {
+        tr.outcome.work = parse_u64(next(), line);
+      } else if (field == "msgs") {
+        tr.outcome.messages = parse_u64(next(), line);
+      } else if (field == "effort") {
+        tr.outcome.effort = parse_u64(next(), line);
+      } else if (field == "crashes") {
+        tr.outcome.crashes = parse_u64(next(), line);
+      } else if (field == "rounds") {
+        tr.outcome.rounds = next();
+      } else if (field == "violation") {
+        tr.outcome.violation = tail();
+      } else {
+        bad_line(line);
+      }
+    } else {
+      bad_line(line);
+    }
+  }
+  if (!saw_end) throw std::invalid_argument("trace: missing 'end' terminator");
+  // The faults string must round-trip the spec grammar; parse it eagerly so
+  // a corrupted trace fails at load time, not replay time.
+  (void)harness::FaultSpec::parse(tr.faults);
+  return tr;
+}
+
+harness::Scenario Trace::to_scenario(bool frozen) const {
+  harness::Scenario s;
+  s.id = id;
+  s.group = id;
+  s.substrate = substrate_from(substrate);
+  s.protocol = protocol;
+  s.cfg = DoAllConfig{n, t};
+  s.faults = harness::FaultSpec::parse(faults);
+  s.seed = seed;
+  s.repetitions = 1;
+  s.params = params;
+  if (frozen && s.substrate == harness::Substrate::kSync) {
+    // Copy the trace by value into the closure: the scenario stays
+    // self-contained after the Trace goes away.
+    const Trace self = *this;
+    s.injector_override = [self](std::uint64_t) {
+      return std::make_unique<ReplayFaults>(self);
+    };
+  }
+  return s;
+}
+
+// --- RecordingFaults --------------------------------------------------------
+
+RecordingFaults::RecordingFaults(std::unique_ptr<FaultInjector> inner, Trace* out)
+    : inner_(std::move(inner)), out_(out) {
+  out_->wants_message_faults = inner_->wants_message_faults();
+  out_->crashes.clear();
+  out_->message_faults.clear();
+}
+
+void RecordingFaults::attach(const SimObservable& sim) { inner_->attach(sim); }
+
+void RecordingFaults::on_round_start(const Round& round) { inner_->on_round_start(round); }
+
+std::optional<CrashPlan> RecordingFaults::inspect(int proc, const Round& round,
+                                                  const Action& action,
+                                                  const SimSnapshot& snap) {
+  const std::uint64_t idx = inspect_calls_++;
+  std::optional<CrashPlan> plan = inner_->inspect(proc, round, action, snap);
+  if (plan)
+    out_->crashes.push_back(TraceCrash{idx, proc, plan->work_completes, plan->deliver_prefix});
+  return plan;
+}
+
+std::optional<MessageFault> RecordingFaults::on_message(int from, const Round& round,
+                                                        const DeliveryRecord& rec) {
+  const std::uint64_t idx = msg_calls_++;
+  std::optional<MessageFault> fault = inner_->on_message(from, round, rec);
+  if (fault) out_->message_faults.push_back(TraceMessageFault{idx, fault->drop, fault->delay});
+  return fault;
+}
+
+bool RecordingFaults::wants_message_faults() const { return inner_->wants_message_faults(); }
+
+// --- ReplayFaults -----------------------------------------------------------
+
+ReplayFaults::ReplayFaults(const Trace& trace)
+    : crashes_(trace.crashes),
+      message_faults_(trace.message_faults),
+      wants_message_faults_(trace.wants_message_faults) {}
+
+std::optional<CrashPlan> ReplayFaults::inspect(int proc, const Round&, const Action&,
+                                               const SimSnapshot&) {
+  const std::uint64_t idx = inspect_calls_++;
+  if (next_crash_ >= crashes_.size()) return std::nullopt;
+  const TraceCrash& c = crashes_[next_crash_];
+  if (c.inspect_idx != idx) return std::nullopt;
+  ++next_crash_;
+  if (c.proc != proc)
+    throw std::runtime_error("trace divergence: recorded crash of process " +
+                             std::to_string(c.proc) + " at inspect call " +
+                             std::to_string(idx) + " but process " + std::to_string(proc) +
+                             " is stepping");
+  return CrashPlan{c.work_completes, c.deliver_prefix};
+}
+
+std::optional<MessageFault> ReplayFaults::on_message(int, const Round&,
+                                                     const DeliveryRecord&) {
+  const std::uint64_t idx = msg_calls_++;
+  if (next_msg_fault_ >= message_faults_.size()) return std::nullopt;
+  const TraceMessageFault& f = message_faults_[next_msg_fault_];
+  if (f.msg_idx != idx) return std::nullopt;
+  ++next_msg_fault_;
+  MessageFault out;
+  out.drop = f.drop;
+  out.delay = f.delay;
+  return out;
+}
+
+// --- record / replay entry points -------------------------------------------
+
+harness::Scenario with_recording(const harness::Scenario& s, Trace* out) {
+  out->id = s.id;
+  out->substrate = harness::to_string(s.substrate);
+  out->protocol = s.protocol;
+  out->n = s.cfg.n;
+  out->t = s.cfg.t;
+  out->seed = s.seed;
+  out->faults = s.faults.to_string();
+  out->params = s.params;
+  out->wants_message_faults = false;
+  out->crashes.clear();
+  out->message_faults.clear();
+  harness::Scenario wrapped = s;
+  const harness::FaultSpec spec = s.faults;
+  wrapped.injector_override = [spec, out](std::uint64_t rep) {
+    return std::make_unique<RecordingFaults>(spec.make(rep), out);
+  };
+  return wrapped;
+}
+
+void fill_outcome(const harness::ScenarioResult& row, Trace* out) {
+  out->outcome = outcome_of(row);
+}
+
+TraceOutcome outcome_of(const harness::ScenarioResult& row) {
+  TraceOutcome o;
+  o.ok = row.ok;
+  o.work = row.work;
+  o.messages = row.messages;
+  o.effort = row.effort;
+  o.crashes = row.crashes;
+  o.rounds = row.rounds;
+  o.violation = row.violation;
+  return o;
+}
+
+RecordedRun run_recorded(const harness::Scenario& s, const std::string& experiment) {
+  if (s.repetitions != 1)
+    throw std::invalid_argument("run_recorded: traces cover exactly one repetition");
+  RecordedRun out;
+  const harness::Scenario wrapped = with_recording(s, &out.trace);
+  out.row = harness::run_scenario(experiment, wrapped).at(0);
+  fill_outcome(out.row, &out.trace);
+  return out;
+}
+
+harness::ScenarioResult replay(const Trace& trace, bool frozen) {
+  const harness::Scenario s = trace.to_scenario(frozen);
+  return harness::run_scenario("fuzz_replay", s).at(0);
+}
+
+}  // namespace dowork::fuzz

@@ -5,6 +5,8 @@
 #include <set>
 
 #include "adversary/strategies.h"
+#include "fuzz/generator.h"
+#include "harness/bounds.h"
 
 namespace dowork::harness {
 
@@ -72,19 +74,16 @@ std::vector<Scenario> baselines_scenarios() {
 
 // --- T2 / T3: Protocols A and B vs their theorem bounds ---------------------
 
-std::vector<Scenario> protocol_bounds_scenarios(const std::string& proto,
-                                                std::uint64_t msg_factor,
-                                                bool linear_time_bound) {
+std::vector<Scenario> protocol_bounds_scenarios(const std::string& proto) {
   std::vector<Scenario> out;
   for (int t : {4, 9, 16, 25, 36, 49, 64, 100}) {
     const std::int64_t n = 16 * t;
     const std::string group = "t=" + std::to_string(t);
-    const std::uint64_t s_ = u(int_sqrt_ceil(t));
     auto add = [&](Scenario s) {
-      s.params["bound_work_3n"] = 3 * n;
-      s.params["bound_msgs"] = static_cast<std::int64_t>(msg_factor * u(t) * s_);
-      s.params["bound_rounds"] =
-          linear_time_bound ? 3 * n + 8 * t : n * t + 3 * static_cast<std::int64_t>(t) * t;
+      // Theorem 2.3 / 2.8 bounds from the shared audited library
+      // (harness/bounds.h): same keys and values the inline params carried.
+      for (const auto& [key, value] : paper_bounds(proto, n, t, t - 1))
+        s.params[key] = value;
       out.push_back(std::move(s));
     };
     for (std::int64_t units : {std::int64_t{1}, ceil_div(n, t), ceil_div(n, int_sqrt_ceil(t))}) {
@@ -247,8 +246,11 @@ std::vector<Scenario> adversary_search_scenarios() {
   std::vector<Scenario> out;
   for (int t : {16, 64}) {
     const std::string ts = "t=" + std::to_string(t);
-    auto add_protocol = [&](const char* proto, std::int64_t n, int budget, FaultSpec scripted,
-                            std::vector<std::pair<std::string, std::int64_t>> bounds) {
+    auto add_protocol = [&](const char* proto, std::int64_t n, int budget,
+                            FaultSpec scripted) {
+      // The tournament's oracle is the shared audited bound library
+      // (harness/bounds.h) -- the same formulas the fuzz campaign asserts.
+      const auto bounds = paper_bounds(proto, n, t, budget);
       auto fill = [&](Scenario s) {
         s.params["assert_bounds"] = 1;
         for (const auto& [key, value] : bounds) s.params[key] = value;
@@ -266,34 +268,21 @@ std::vector<Scenario> adversary_search_scenarios() {
     };
     {
       const std::int64_t n = 16 * t;
-      const std::int64_t s_ = int_sqrt_ceil(t);
-      add_protocol("A", n, t - 1, chunk_cascade(n, t),
-                   {{"bound_work_3n", 3 * n},
-                    {"bound_msgs", 9 * t * s_},
-                    {"bound_rounds", n * t + 3 * static_cast<std::int64_t>(t) * t}});
-      add_protocol("B", n, t - 1, chunk_cascade(n, t),
-                   {{"bound_work_3n", 3 * n},
-                    {"bound_msgs", 10 * t * s_},
-                    {"bound_rounds", 3 * n + 8 * t}});
+      add_protocol("A", n, t - 1, chunk_cascade(n, t));
+      add_protocol("B", n, t - 1, chunk_cascade(n, t));
     }
     {
       // Protocol C's time bound is exponential in n + t: no bound_rounds row
       // (the shape keeps n + t within the 512-bit deadline budget instead).
       const std::int64_t n = 4 * t;
-      const std::int64_t T = pow2_ceil(t);
-      const std::int64_t L = std::max(1, log2_of_pow2(T));
-      add_protocol("C", n, t - 1, chunk_cascade(n, t),
-                   {{"bound_work_n_2t", n + 2 * t}, {"bound_msgs", n + 8 * T * L}});
+      add_protocol("C", n, t - 1, chunk_cascade(n, t));
     }
     {
       // Minority budget: Theorem 4.1 case 1 (a majority loss would move the
       // goalposts to the case-2 revert bounds).
       const std::int64_t n = 16 * t;
       const int f = std::max(1, t / 2 - 1);
-      add_protocol("D", n, f, FaultSpec::cascade(2, f, 0),
-                   {{"bound_work_2n", 2 * n},
-                    {"bound_msgs", (4 * static_cast<std::int64_t>(f) + 2) * t * t},
-                    {"bound_rounds", (f + 1) * (n / t) + 4 * f + 2}});
+      add_protocol("D", n, f, FaultSpec::cascade(2, f, 0));
     }
   }
   // Network tournament, appended after every crash group so the crash rows
@@ -748,11 +737,11 @@ const std::vector<ExperimentInfo>& all_experiments() {
       {"protocol_a", "T2 (Theorem 2.3)",
        "Protocol A: work <= 3n, messages <= 9t*sqrt(t), all retired by round nt + 3t^2; "
        "worst over cascade variants and 8 random schedules.",
-       [] { return protocol_bounds_scenarios("A", 9, false); }},
+       [] { return protocol_bounds_scenarios("A"); }},
       {"protocol_b", "T3 (Theorem 2.8)",
        "Protocol B keeps work <= 3n and messages <= 10t*sqrt(t) while retiring everyone "
        "by round 3n + 8t.",
-       [] { return protocol_bounds_scenarios("B", 10, true); }},
+       [] { return protocol_bounds_scenarios("B"); }},
       {"protocol_c", "T4 (Theorem 3.8, Corollary 3.9)",
        "Protocol C: work <= n + 2t, messages <= n + 8t log t (C_batch drops the n term); "
        "time exponential in n + t, simulated exactly via 512-bit fast-forward.",
@@ -826,6 +815,12 @@ const std::vector<ExperimentInfo>& all_experiments() {
        "the deadline discipline rides out every healed partition -- both sides redo "
        "work but the run completes, with bound margins reporting the price.",
        partition_heal_scenarios},
+      {"fuzz_smoke", "Fuzz campaign smoke (every theorem, random shapes)",
+       "The fuzzing campaign's first 100 seed-42 cases as a registry experiment: random "
+       "valid (protocol, shape, FaultSpec v2) draws, every crash-only row asserting its "
+       "paper bounds (src/harness/bounds.h) and every weather row reporting margins; any "
+       "bound breach or invariant violation fails the row.",
+       [] { return fuzz::generate_cases({42, 100}, 100); }},
   };
   return kExperiments;
 }

@@ -49,6 +49,13 @@ void fill_sync_metrics(const RunMetrics& m, ScenarioResult& row) {
   if (m.net_delayed) row.extra.emplace_back("net_delayed", std::to_string(m.net_delayed));
 }
 
+// The crash injector for one repetition: the spec's own factory, unless the
+// fuzz hook (Scenario::injector_override) replaces it.
+std::unique_ptr<FaultInjector> make_injector(const Scenario& s, int rep) {
+  const std::uint64_t r = static_cast<std::uint64_t>(rep);
+  return s.injector_override ? s.injector_override(r) : s.faults.make(r);
+}
+
 void run_one_rep(const Scenario& s, int rep, ScenarioResult& row) {
   switch (s.substrate) {
     case Substrate::kSync: {
@@ -59,8 +66,7 @@ void run_one_rep(const Scenario& s, int rep, ScenarioResult& row) {
       // seeded crash adversaries, repetition r re-seeds the weather.
       opts.net = s.faults.net;
       opts.net.seed += static_cast<std::uint64_t>(rep);
-      RunResult r = run_do_all(s.protocol, s.cfg, s.faults.make(static_cast<std::uint64_t>(rep)),
-                               opts);
+      RunResult r = run_do_all(s.protocol, s.cfg, make_injector(s, rep), opts);
       fill_sync_metrics(r.metrics, row);
       row.ok = r.ok();
       row.violation = r.violation;
@@ -75,7 +81,7 @@ void run_one_rep(const Scenario& s, int rep, ScenarioResult& row) {
       cfg.t_faults = s.cfg.t;
       cfg.value = s.param_or("value", 5);
       cfg.protocol = s.protocol;
-      ByzantineResult r = run_byzantine(cfg, s.faults.make(static_cast<std::uint64_t>(rep)));
+      ByzantineResult r = run_byzantine(cfg, make_injector(s, rep));
       fill_sync_metrics(r.metrics, row);
       row.ok = r.agreement && r.validity;
       if (!row.ok) row.violation = "byzantine agreement/validity violated";
@@ -153,8 +159,7 @@ void run_one_rep(const Scenario& s, int rep, ScenarioResult& row) {
         for (std::int64_t k = 0; k < per_batch; ++k) a.units.push_back(next++);
         cfg.arrivals.push_back(a);
       }
-      DynamicRunResult r =
-          run_dynamic_do_all(cfg, s.faults.make(static_cast<std::uint64_t>(rep)));
+      DynamicRunResult r = run_dynamic_do_all(cfg, make_injector(s, rep));
       row.work = r.metrics.work_total;
       row.messages = r.metrics.messages_total;
       row.effort = r.metrics.effort();

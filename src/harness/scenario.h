@@ -9,7 +9,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -70,6 +72,13 @@ struct Scenario {
   // columns appear but never flip ok: network faults sit outside the
   // crash-only theorems, so a >100% margin measures degradation there.
   std::map<std::string, std::int64_t> params;
+  // Fuzz hook: when set, replaces faults.make(rep) as the crash-injector
+  // factory for the substrates that consult one (sync, byzantine, dynamic).
+  // The spec still supplies the network component and the row's faults
+  // string; src/fuzz/ uses this to wrap the spec's injector in a decision
+  // recorder or to replace it with a frozen-trace replayer.  Never set by
+  // the experiment registry, so every registered scenario is pure data.
+  std::function<std::unique_ptr<FaultInjector>(std::uint64_t rep)> injector_override;
 
   std::int64_t param_or(const std::string& key, std::int64_t fallback) const {
     auto it = params.find(key);

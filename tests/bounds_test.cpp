@@ -1,0 +1,149 @@
+// The shared bound-formula oracle (src/harness/bounds.h): exact values at
+// the boundary shapes the formulas are most often evaluated at, so a
+// refactor of the arithmetic cannot silently shift a bound the tournament,
+// the protocol families, and the fuzz campaign all assert.
+#include "harness/bounds.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+namespace dowork::harness {
+namespace {
+
+std::map<std::string, std::int64_t> bounds_of(const std::string& protocol, std::int64_t n,
+                                              int t, int crash_budget) {
+  std::map<std::string, std::int64_t> out;
+  for (const auto& [key, value] : paper_bounds(protocol, n, t, crash_budget)) out[key] = value;
+  return out;
+}
+
+TEST(BoundsTest, ProtocolAAtTOne) {
+  // t = 1: sqrt ceil is 1, so msgs <= 9, rounds <= n + 3.
+  const auto b = bounds_of("A", 5, 1, 0);
+  EXPECT_EQ(b.at("bound_work_3n"), 15);
+  EXPECT_EQ(b.at("bound_msgs"), 9);
+  EXPECT_EQ(b.at("bound_rounds"), 5 * 1 + 3 * 1);
+}
+
+TEST(BoundsTest, ProtocolAAtTTwo) {
+  // sqrt(2) ceils to 2: msgs <= 9 * 2 * 2 = 36.
+  const auto b = bounds_of("A", 8, 2, 1);
+  EXPECT_EQ(b.at("bound_work_3n"), 24);
+  EXPECT_EQ(b.at("bound_msgs"), 36);
+  EXPECT_EQ(b.at("bound_rounds"), 8 * 2 + 3 * 4);
+}
+
+TEST(BoundsTest, ProtocolBDiffersFromAInMsgsAndRounds) {
+  const auto a = bounds_of("A", 16, 4, 3);
+  const auto b = bounds_of("B", 16, 4, 3);
+  EXPECT_EQ(a.at("bound_work_3n"), b.at("bound_work_3n"));  // both 3n
+  EXPECT_EQ(a.at("bound_msgs"), 9 * 4 * 2);
+  EXPECT_EQ(b.at("bound_msgs"), 10 * 4 * 2);
+  EXPECT_EQ(a.at("bound_rounds"), 16 * 4 + 3 * 16);  // nt + 3t^2
+  EXPECT_EQ(b.at("bound_rounds"), 3 * 16 + 8 * 4);   // 3n + 8t
+}
+
+TEST(BoundsTest, ProtocolCAtNEqualsT) {
+  // n = t = 4: T = 4, log T = 2; work n + 2t, msgs n + 8 T log T; and no
+  // rounds bound -- C's deadlines are exponential by design.
+  const auto b = bounds_of("C", 4, 4, 3);
+  EXPECT_EQ(b.at("bound_work_n_2t"), 4 + 8);
+  EXPECT_EQ(b.at("bound_msgs"), 4 + 8 * 4 * 2);
+  EXPECT_EQ(b.count("bound_rounds"), 0u);
+}
+
+TEST(BoundsTest, ProtocolCPadsTToPowerOfTwo) {
+  // t = 5 pads to T = 8, log T = 3.
+  const auto b = bounds_of("C", 20, 5, 0);
+  EXPECT_EQ(b.at("bound_msgs"), 20 + 8 * 8 * 3);
+}
+
+TEST(BoundsTest, ProtocolCAtTOneUsesLogFloorOne) {
+  // T = 1 would give log T = 0 and an absurd msgs <= n; the formula floors
+  // the log factor at 1.
+  const auto b = bounds_of("C", 6, 1, 0);
+  EXPECT_EQ(b.at("bound_msgs"), 6 + 8 * 1 * 1);
+}
+
+TEST(BoundsTest, CRoundBudgetMatchesTheScaleCap) {
+  // Shapes are capped at n + t <= 440 everywhere C is exactly simulated
+  // (512-bit deadlines); the constant is shared, not re-derived per family.
+  EXPECT_EQ(kCRoundBudget, 440);
+}
+
+TEST(BoundsTest, CBatchInflatesWorkByBatchesAndKeepsMsgs) {
+  // batch = ceil(23/3) = 8: work <= n + 2t * batch; msgs as plain C.
+  const auto c = bounds_of("C", 23, 3, 2);
+  const auto cb = bounds_of("C_batch", 23, 3, 2);
+  EXPECT_EQ(cb.at("bound_work_batched"), 23 + 2 * 3 * 8);
+  EXPECT_EQ(cb.at("bound_msgs"), c.at("bound_msgs"));
+  EXPECT_EQ(cb.count("bound_rounds"), 0u);
+}
+
+TEST(BoundsTest, CBatchReducesToCWhenBatchIsOne) {
+  // n <= t means batch = 1 and the Corollary 3.9 bound collapses to
+  // Theorem 3.8's n + 2t exactly (only the key differs).
+  const auto c = bounds_of("C", 4, 4, 1);
+  const auto cb = bounds_of("C_batch", 4, 4, 1);
+  EXPECT_EQ(cb.at("bound_work_batched"), c.at("bound_work_n_2t"));
+}
+
+TEST(BoundsTest, ProtocolDAtZeroCrashes) {
+  // f = 0: work <= 2n, msgs <= 2t^2, rounds <= ceil(n/t) + 2.
+  const auto b = bounds_of("D", 12, 4, 0);
+  EXPECT_EQ(b.at("bound_work_2n"), 24);
+  EXPECT_EQ(b.at("bound_msgs"), 2 * 16);
+  EXPECT_EQ(b.at("bound_rounds"), 3 + 2);
+}
+
+TEST(BoundsTest, ProtocolDAtMinorityBudget) {
+  // The largest case-1 budget, f = t/2 - 1 = 3 at t = 8.
+  const auto b = bounds_of("D", 16, 8, 3);
+  EXPECT_EQ(b.at("bound_work_2n"), 32);
+  EXPECT_EQ(b.at("bound_msgs"), (4 * 3 + 2) * 64);
+  EXPECT_EQ(b.at("bound_rounds"), 4 * 2 + 4 * 3 + 2);
+}
+
+TEST(BoundsTest, BoundsAreMonotoneInTheCrashBudget) {
+  // Asserting with the budget when fewer crashes happen must stay sound,
+  // so every bound is non-decreasing in crash_budget.
+  for (const char* proto : {"A", "B", "C", "C_batch", "D"}) {
+    const auto lo = bounds_of(proto, 20, 5, 1);
+    const auto hi = bounds_of(proto, 20, 5, 2);
+    for (const auto& [key, value] : lo) {
+      EXPECT_LE(value, hi.at(key)) << proto << " " << key;
+    }
+  }
+}
+
+TEST(BoundsTest, KeysCarryTheDispatchPrefixes) {
+  // assert_bounds routes on the bound_work* / bound_msgs* / bound_rounds*
+  // prefixes; every emitted key must match one.
+  for (const char* proto : {"A", "B", "C", "C_batch", "D"}) {
+    for (const auto& [key, value] : paper_bounds(proto, 20, 5, 2)) {
+      const bool routed = key.rfind("bound_work", 0) == 0 ||
+                          key.rfind("bound_msgs", 0) == 0 ||
+                          key.rfind("bound_rounds", 0) == 0;
+      EXPECT_TRUE(routed) << proto << " emits unroutable key " << key;
+      EXPECT_GT(value, 0) << proto << " " << key;
+    }
+  }
+}
+
+TEST(BoundsTest, UnknownProtocolThrows) {
+  EXPECT_THROW(paper_bounds("naive_C", 8, 2, 1), std::invalid_argument);
+  EXPECT_THROW(paper_bounds("", 8, 2, 1), std::invalid_argument);
+}
+
+TEST(BoundsTest, HasPaperBoundsMatchesTheAuditedSet) {
+  for (const char* proto : {"A", "B", "C", "C_batch", "D"})
+    EXPECT_TRUE(has_paper_bounds(proto)) << proto;
+  EXPECT_FALSE(has_paper_bounds("naive_C"));
+  EXPECT_FALSE(has_paper_bounds("A_async"));  // mapped to A by the fuzzer, not audited
+  EXPECT_FALSE(has_paper_bounds(""));
+}
+
+}  // namespace
+}  // namespace dowork::harness
