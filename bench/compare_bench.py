@@ -23,6 +23,15 @@ the speedup ratio (baseline / current, so > 1 is faster).  This is how the
 DESIGN.md perf-trajectory claims are reproduced from two committed
 BENCH_scale.json artifacts.  --threshold applies to groups in this mode
 (a group is a regression when current > X * baseline and >= 1 ms slower).
+
+With --throughput the comparison reads only the rows carrying a
+units_per_sec field (live-substrate repetitions; src/substrate/) and diffs
+real throughput in its own table -- higher is better, ratio is current /
+baseline.  Simulated rows have no units_per_sec and are ignored here, so a
+baseline that predates the live backend diffs cleanly: its live rows are
+listed as new throughput rows instead of polluting the wall_ms
+added/removed lists.  --threshold in this mode fails rows whose throughput
+dropped by more than X times.
 """
 
 import argparse
@@ -108,6 +117,61 @@ def compare_timing(args):
     return 0
 
 
+def load_throughput(path):
+    """(experiment, id, rep) -> units_per_sec, for rows that carry it."""
+    with open(path, "rb") as f:
+        doc = json.load(f)
+    docs = doc if isinstance(doc, list) else [doc]
+    rows = {}
+    for d in docs:
+        timing = d.get("timing")
+        if timing is None:
+            sys.exit(f"{path}: no 'timing' section -- generate with --timing")
+        exp = d.get("experiment", "?")
+        for t in timing.get("rows", []):
+            if "units_per_sec" in t:
+                rows[(exp, t["id"], t.get("rep", 0))] = t["units_per_sec"]
+    return rows
+
+
+def compare_throughput(args):
+    base = load_throughput(args.baseline)
+    cur = load_throughput(args.current)
+
+    matched = sorted(set(base) & set(cur))
+    retired = sorted(set(base) - set(cur))
+    new = sorted(set(cur) - set(base))
+    if not base and not cur:
+        print("(no units_per_sec rows on either side)")
+        return 0
+
+    regressions = []
+    width = max((len("/".join(map(str, k))) for k in matched), default=20)
+    print(f"{'row':<{width}}  {'base u/s':>12}  {'cur u/s':>12}  ratio")
+    for key in matched:
+        b, c = base[key], cur[key]
+        ratio = c / b if b > 0 else float("inf")
+        name = "/".join(map(str, key))
+        print(f"{name:<{width}}  {b:>12.1f}  {c:>12.1f}  {ratio:5.2f}x")
+        if (args.threshold is not None and b > 0
+                and (c == 0 or b / c > args.threshold)):
+            regressions.append((name, b, c))
+    # One-sided rows are expected, not errors: the live backend is newer
+    # than most committed baselines, and sweeps legitimately grow.
+    for key in retired:
+        print(f"throughput row retired (only in baseline): {'/'.join(map(str, key))}")
+    for key in new:
+        print(f"new throughput row (no baseline yet):      {'/'.join(map(str, key))}")
+
+    if regressions:
+        print(f"\n{len(regressions)} row(s) with throughput down more than "
+              f"{args.threshold}x:")
+        for name, b, c in regressions:
+            print(f"  {name}: {b:.1f} u/s -> {c:.1f} u/s")
+        return 1
+    return 0
+
+
 def load(path):
     with open(path, "rb") as f:
         doc = json.load(f)
@@ -144,8 +208,15 @@ def main():
     ap.add_argument("--timing", action="store_true",
                     help="diff timing.groups/per_protocol and print speedup ratios "
                          "instead of matching per-repetition rows")
+    ap.add_argument("--throughput", action="store_true",
+                    help="diff only the live-substrate units_per_sec rows, in "
+                         "their own table (higher is better)")
     args = ap.parse_args()
 
+    if args.timing and args.throughput:
+        ap.error("--timing and --throughput are mutually exclusive")
+    if args.throughput:
+        return compare_throughput(args)
     if args.timing:
         return compare_timing(args)
 

@@ -32,6 +32,10 @@ int usage(int code) {
       "                  (plants deliberate violations; default 100)\n"
       "  --json FILE     write the deterministic campaign report\n"
       "  --trace-dir DIR write violation traces (original + shrunk reproducer)\n"
+      "  --differential  run every sync case on both the simulator and the\n"
+      "                  live thread substrate; any metric divergence fails\n"
+      "                  the case (divergences are reported unshrunk, with a\n"
+      "                  trace of the clean simulator leg attached)\n"
       "  --quiet         suppress the progress meter\n"
       "exit status: 0 iff every case satisfied its bounds and invariants\n"
       "\n"
@@ -108,6 +112,8 @@ int main(int argc, char** argv) {
       json_file = value();
     } else if (arg == "--trace-dir") {
       opts.trace_dir = value();
+    } else if (arg == "--differential") {
+      opts.differential = true;
     } else if (arg == "--quiet") {
       opts.quiet = true;
     } else if (arg == "--replay") {

@@ -27,9 +27,14 @@ def report(experiment, rows=None, groups=None, per_protocol=None, total=0.0,
         return doc
     timing = {"total_ms": total}
     if not omit_rows:
-        timing["rows"] = [
-            {"id": rid, "rep": rep, "wall_ms": ms} for (rid, rep, ms) in (rows or [])
-        ]
+        # Row tuples: (id, rep, wall_ms) or (id, rep, wall_ms, units_per_sec)
+        # -- the 4-tuple form is a live-substrate repetition.
+        timing["rows"] = []
+        for row in (rows or []):
+            entry = {"id": row[0], "rep": row[1], "wall_ms": row[2]}
+            if len(row) > 3:
+                entry["units_per_sec"] = row[3]
+            timing["rows"].append(entry)
     if groups is not None:
         timing["groups"] = groups
     if per_protocol is not None:
@@ -176,6 +181,56 @@ class CompareBenchTest(unittest.TestCase):
         self.assertIn("added (only in current):    scale/t=256", r.stdout)
         self.assertIn("skipping per_protocol/total comparison", r.stdout)
         self.assertNotIn("timing.per_protocol", r.stdout)
+
+    # --- --throughput mode --------------------------------------------------
+
+    def test_throughput_mode_matches_only_units_per_sec_rows(self):
+        # Sim rows (wall_ms only) are invisible to --throughput; live rows
+        # diff by units_per_sec with current/baseline ratio.
+        base = self.write("b.json", report("live_throughput", rows=[
+            ("sim/t=16/A", 0, 5.0), ("live/t=16/A", 0, 9.0, 1000.0)]))
+        cur = self.write("c.json", report("live_throughput", rows=[
+            ("sim/t=16/A", 0, 6.0), ("live/t=16/A", 0, 8.0, 2000.0)]))
+        r = self.run_compare(base, cur, "--throughput")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("live/t=16/A", r.stdout)
+        self.assertIn("2.00x", r.stdout)
+        self.assertNotIn("sim/t=16/A", r.stdout)
+
+    def test_throughput_mode_lists_new_live_rows_instead_of_added_removed(self):
+        # A baseline that predates the live backend diffs cleanly: the live
+        # rows land in the throughput table as new, and nothing fails.
+        base = self.write("b.json", report("scale", rows=[("t=64/A", 0, 5.0)]))
+        cur = self.write("c.json", report("scale", rows=[
+            ("t=64/A", 0, 5.0), ("live/t=64/A", 0, 9.0, 1234.5)]))
+        r = self.run_compare(base, cur, "--throughput", "--threshold", "1.1")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("new throughput row (no baseline yet):      scale/live/t=64/A",
+                      r.stdout)
+        self.assertNotIn("only in", r.stdout)
+
+    def test_throughput_mode_threshold_fails_on_drop(self):
+        base = self.write("b.json", report("live_throughput", rows=[
+            ("live/t=16/A", 0, 9.0, 3000.0)]))
+        cur = self.write("c.json", report("live_throughput", rows=[
+            ("live/t=16/A", 0, 9.0, 1000.0)]))
+        r = self.run_compare(base, cur, "--throughput", "--threshold", "2.0")
+        self.assertEqual(r.returncode, 1, r.stdout)
+        self.assertIn("throughput down more than 2.0x", r.stdout)
+
+    def test_throughput_mode_without_any_live_rows(self):
+        base = self.write("b.json", report("scale", rows=[("t=64/A", 0, 5.0)]))
+        cur = self.write("c.json", report("scale", rows=[("t=64/A", 0, 5.0)]))
+        r = self.run_compare(base, cur, "--throughput")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("no units_per_sec rows on either side", r.stdout)
+
+    def test_timing_and_throughput_are_mutually_exclusive(self):
+        base = self.write("b.json", report("scale", rows=[]))
+        cur = self.write("c.json", report("scale", rows=[]))
+        r = self.run_compare(base, cur, "--timing", "--throughput")
+        self.assertNotEqual(r.returncode, 0)
+        self.assertIn("mutually exclusive", r.stderr)
 
     def test_timing_mode_added_experiment_is_reported(self):
         base = self.write("b.json", [report("scale", rows=[], groups={"t=64": 1.0})])

@@ -44,10 +44,17 @@ const ProtocolInfo& find_protocol(const std::string& name);
 // Instantiate the full process vector for a run.  `param` selects the
 // parameterized factory (make_proc_param) when set; protocols without one
 // reject a param loudly rather than silently ignoring it.
+// `shared_state` selects whether the whole-run factory (make_procs) may be
+// used.  The live thread substrate passes false: run-scoped shared caches
+// (Protocol D's merge cache) assume single-threaded, ascending-id serving,
+// and the cache-free processes are pinned metric-identical anyway
+// (protocol_d_test), so independent construction is the thread-safe and
+// observably-equal choice.
 std::vector<std::unique_ptr<IProcess>> make_processes(const ProtocolInfo& info,
                                                       const DoAllConfig& cfg);
 std::vector<std::unique_ptr<IProcess>> make_processes(const ProtocolInfo& info,
                                                       const DoAllConfig& cfg,
-                                                      std::optional<std::int64_t> param);
+                                                      std::optional<std::int64_t> param,
+                                                      bool shared_state = true);
 
 }  // namespace dowork

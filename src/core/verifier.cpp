@@ -4,6 +4,7 @@ namespace dowork {
 
 std::string verify_run(const ProtocolInfo& info, const DoAllConfig& cfg,
                        const RunMetrics& metrics) {
+  if (metrics.aborted) return "run aborted: " + metrics.aborted_reason;
   if (metrics.hit_round_cap) return "run hit the stepped-round cap";
   if (metrics.deadlocked) return "run deadlocked: live processes with no timers or messages";
   if (!metrics.all_retired) return "run ended with unretired processes";

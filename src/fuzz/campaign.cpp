@@ -71,12 +71,23 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
   const std::vector<harness::Scenario> cases = generate_cases(gen, opts.cases);
 
   // One trace slot per case; worker threads write disjoint slots, the
-  // wrapped scenarios are otherwise pure data.
+  // wrapped scenarios are otherwise pure data.  Differential mode flips
+  // every sync case to the two-backend substrate and skips the recorder
+  // (campaign.h); the trace is recovered per-violation below.
   std::vector<Trace> traces(cases.size());
+  std::vector<bool> flipped(cases.size(), false);
   std::vector<harness::Scenario> wrapped;
   wrapped.reserve(cases.size());
-  for (std::size_t i = 0; i < cases.size(); ++i)
-    wrapped.push_back(with_recording(cases[i], &traces[i]));
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    if (opts.differential && cases[i].substrate == harness::Substrate::kSync) {
+      harness::Scenario d = cases[i];
+      d.substrate = harness::Substrate::kDifferential;
+      wrapped.push_back(std::move(d));
+      flipped[i] = true;
+    } else {
+      wrapped.push_back(with_recording(cases[i], &traces[i]));
+    }
+  }
 
   harness::ParallelScenarioRunner runner(opts.jobs);
   if (!opts.quiet) {
@@ -97,10 +108,29 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
     CampaignViolation v;
     v.index = static_cast<int>(i);
     v.row = result.rows[i];
-    v.trace = traces[i];
     ShrinkOptions shrink_opts;
     shrink_opts.tighten_pct = opts.tighten_pct;
-    v.shrunk = shrink(cases[i], shrink_opts);
+    if (flipped[i]) {
+      // Recover a trace by re-running the simulator leg alone, recorded.
+      // A reproduced failure is not substrate-specific (the oracles judge
+      // the sim leg's metrics either way) and shrinks like any other; a
+      // clean re-run means the two backends diverged, so the case is its
+      // own minimal reproducer and the clean sim-leg trace rides along
+      // for inspection (replaying it succeeds -- the divergence lives
+      // between the backends, not inside either leg).
+      RecordedRun sim = run_recorded(cases[i], "fuzz_diff");
+      v.trace = sim.trace;
+      if (!sim.row.ok) {
+        v.shrunk = shrink(cases[i], shrink_opts);
+      } else {
+        v.shrunk.minimal = cases[i];
+        v.shrunk.row = result.rows[i];
+        v.shrunk.trace = sim.trace;
+      }
+    } else {
+      v.trace = traces[i];
+      v.shrunk = shrink(cases[i], shrink_opts);
+    }
     v.trace_file = "case" + pad5(v.index) + ".trace";
     v.shrunk_trace_file = "case" + pad5(v.index) + ".shrunk.trace";
     result.violations.push_back(std::move(v));
@@ -136,7 +166,8 @@ std::string CampaignResult::to_json() const {
   std::ostringstream out;
   out << "{\n";
   out << "  \"campaign\": {\"seed\": " << options.seed << ", \"cases\": " << options.cases
-      << ", \"tighten_pct\": " << options.tighten_pct << "},\n";
+      << ", \"tighten_pct\": " << options.tighten_pct
+      << (options.differential ? ", \"differential\": true" : "") << "},\n";
   out << "  \"summary\": {\"ok\": "
       << rows.size() - violations.size() << ", \"violations\": " << violations.size()
       << "},\n";
@@ -188,6 +219,7 @@ std::string CampaignResult::summary_table() const {
   std::ostringstream out;
   out << "fuzz campaign: seed " << options.seed << ", " << options.cases << " cases";
   if (options.tighten_pct != 100) out << ", bounds tightened to " << options.tighten_pct << "%";
+  if (options.differential) out << ", differential (sim vs live substrate)";
   out << "\n";
   for (const auto& [protocol, ps] : stats)
     out << "  " << protocol << ": " << ps.ok << "/" << ps.cases << " ok\n";

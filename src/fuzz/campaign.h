@@ -33,6 +33,17 @@ struct CampaignOptions {
   // execution) and caseNNNNN.shrunk.trace (the minimal reproducer) for
   // every violation.  Created if missing.
   std::string trace_dir;
+  // Run every sync case on BOTH backends -- the simulator and the live
+  // thread substrate (src/substrate/differential.h) -- and fail the case on
+  // any metric divergence, on top of the usual bound/invariant oracles
+  // (which judge the simulator leg's metrics, exactly as in plain mode).
+  // Differential cases cannot carry the decision recorder (one trace cannot
+  // serve two legs), so on violation the simulator leg is re-run alone,
+  // recorded: if it reproduces the failure the case shrinks normally; if it
+  // comes back clean the failure is a genuine substrate divergence, which
+  // is reported unshrunk (the shrinker's candidates replay single legs
+  // only) with a trace of the clean simulator leg attached for inspection.
+  bool differential = false;
   // Suppress the progress meter (stderr).
   bool quiet = false;
 };

@@ -17,11 +17,16 @@ namespace {
 void print_usage(const char* argv0, const std::string& fixed_experiment) {
   std::printf("usage: %s [options]\n", argv0);
   if (fixed_experiment.empty())
-    std::printf("  --experiment NAME   experiment to run (or 'all'); see --list\n");
+    std::printf(
+        "  --experiment NAMES  experiment(s) to run: one name, a comma-separated\n"
+        "                      list, or 'all'; see --list\n");
   std::printf(
       "  --jobs N            worker threads (default: hardware concurrency)\n"
       "  --json PATH         write the machine-readable report to PATH ('-' = stdout)\n"
       "  --filter SUBSTR     only run scenarios whose id contains SUBSTR\n"
+      "  --backend WHICH     execution backend for sync scenarios: 'sim' (default)\n"
+      "                      or 'live' (thread substrate, deterministic schedule;\n"
+      "                      identical report rows, real units/sec under --timing)\n"
       "  --timing            include wall-clock timing in the JSON report\n"
       "                      (machine-dependent; breaks byte-identity across runs)\n"
       "  --list              list experiments and exit\n"
@@ -69,6 +74,15 @@ int bench_main(int argc, char** argv, const std::string& fixed_experiment) {
       opt.json_path = next();
     } else if (arg == "--filter") {
       opt.filter = next();
+    } else if (arg == "--backend") {
+      const std::string value = next();
+      if (value == "live") {
+        opt.live_backend = true;
+      } else if (value != "sim") {
+        std::fprintf(stderr, "%s: --backend wants 'sim' or 'live', got '%s'\n", argv[0],
+                     value.c_str());
+        return 2;
+      }
     } else if (arg == "--timing") {
       opt.timing = true;
     } else if (arg == "--list") {
@@ -99,13 +113,27 @@ int bench_main(int argc, char** argv, const std::string& fixed_experiment) {
   if (opt.experiment == "all") {
     for (const ExperimentInfo& e : all_experiments()) selected.push_back(&e);
   } else {
-    const ExperimentInfo* e = find_experiment(opt.experiment);
-    if (!e) {
-      std::fprintf(stderr, "%s: unknown experiment '%s' (see --list)\n", argv[0],
-                   opt.experiment.c_str());
+    // One name or a comma-separated list, kept in the order given (the JSON
+    // array preserves it, so multi-experiment artifacts are reproducible).
+    std::size_t pos = 0;
+    while (pos <= opt.experiment.size()) {
+      const std::size_t comma = opt.experiment.find(',', pos);
+      const std::string name = opt.experiment.substr(
+          pos, comma == std::string::npos ? std::string::npos : comma - pos);
+      pos = comma == std::string::npos ? opt.experiment.size() + 1 : comma + 1;
+      if (name.empty()) continue;
+      const ExperimentInfo* e = find_experiment(name);
+      if (!e) {
+        std::fprintf(stderr, "%s: unknown experiment '%s' (see --list)\n", argv[0],
+                     name.c_str());
+        return 2;
+      }
+      selected.push_back(e);
+    }
+    if (selected.empty()) {
+      std::fprintf(stderr, "%s: --experiment got an empty list\n", argv[0]);
       return 2;
     }
-    selected.push_back(e);
   }
 
   ParallelScenarioRunner runner(opt.jobs);
@@ -131,6 +159,9 @@ int bench_main(int argc, char** argv, const std::string& fixed_experiment) {
       }
       filter_matched_any = true;
     }
+    if (opt.live_backend)
+      for (Scenario& s : scenarios)
+        if (s.substrate == Substrate::kSync) s.force_live = true;
     const auto start = std::chrono::steady_clock::now();
     const std::vector<ScenarioResult> rows = runner.run(e->name, scenarios);
     const double secs =

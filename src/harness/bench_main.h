@@ -12,8 +12,8 @@
 namespace dowork::harness {
 
 struct BenchOptions {
-  // Experiment names to run; empty = the fixed experiment of a wrapper
-  // binary, or all experiments for `dowork_bench --experiment all`.
+  // Experiment names to run: one name, a comma-separated list, or "all";
+  // empty = the fixed experiment of a wrapper binary.
   std::string experiment;
   int jobs = 0;           // 0 = hardware concurrency
   std::string json_path;  // empty = no JSON output
@@ -21,12 +21,17 @@ struct BenchOptions {
   bool list_only = false;
   bool quiet = false;   // suppress tables (JSON/e2e timing only)
   bool timing = false;  // include the machine-dependent "timing" JSON key
+  // --backend live: execute every sync scenario on the live thread
+  // substrate (deterministic schedule) instead of the simulator.  The
+  // deterministic report is byte-identical by the oracle contract -- CI
+  // diffs the two JSONs -- and --timing additionally carries units_per_sec.
+  bool live_backend = false;
 };
 
-// Parses argv (flags: --experiment NAME, --jobs N, --json PATH,
-// --filter SUBSTR, --timing, --list, --quiet, --help).  `fixed_experiment`
-// pins a wrapper binary to its experiment (its --experiment flag is
-// rejected).  Returns the process exit code.
+// Parses argv (flags: --experiment NAME[,NAME...], --jobs N, --json PATH,
+// --filter SUBSTR, --backend sim|live, --timing, --list, --quiet, --help).
+// `fixed_experiment` pins a wrapper binary to its experiment (its
+// --experiment flag is rejected).  Returns the process exit code.
 int bench_main(int argc, char** argv, const std::string& fixed_experiment = "");
 
 }  // namespace dowork::harness

@@ -657,6 +657,82 @@ std::vector<Scenario> sim_microbench_scenarios() {
   return out;
 }
 
+// --- differential / live_throughput: the live thread substrate --------------
+
+// The simulator as differential oracle (src/substrate/differential.h): the
+// deterministic groups run every case on both backends and fail the row on
+// any metric divergence; the free groups surrender the commit order to the
+// OS scheduler -- no equality oracle exists there, so each row asserts its
+// paper bounds and the verifier instead.  Free rows are nondeterministic by
+// design: keep this family out of byte-identity comparisons.
+std::vector<Scenario> differential_scenarios() {
+  std::vector<Scenario> out;
+  for (int t : {16, 64}) {
+    const std::string ts = "det/t=" + std::to_string(t);
+    auto add = [&](const char* proto, std::int64_t n, FaultSpec faults) {
+      Scenario s = sync_scenario(ts + "/" + proto, proto, n, t, std::move(faults));
+      s.substrate = Substrate::kDifferential;
+      out.push_back(std::move(s));
+    };
+    const std::int64_t n = 16 * t;
+    const int f = std::max(1, t / 2 - 1);
+    add("A", n, chunk_cascade(n, t));
+    add("A", n, FaultSpec::adaptive("greedy", t - 1, /*seed=*/1));
+    add("B", n, chunk_cascade(n, t));
+    add("B", n, FaultSpec::adaptive("chain", t - 1, /*seed=*/1));
+    // C's shape keeps n + t inside the 512-bit deadline budget; its
+    // exponential idle stretches fast-forward identically on both backends.
+    add("C", 4 * t, chunk_cascade(4 * t, t));
+    add("D", n, FaultSpec::cascade(2, f, 0));
+    add("D", n, FaultSpec::adaptive("greedy", f, /*seed=*/1));
+  }
+  for (int t : {16, 64}) {
+    const std::string ts = "free/t=" + std::to_string(t);
+    auto add = [&](const char* proto, std::int64_t n, int budget, FaultSpec faults) {
+      Scenario s = sync_scenario(ts + "/" + proto, proto, n, t, std::move(faults));
+      s.substrate = Substrate::kLive;
+      s.params["free_sched"] = 1;
+      s.params["assert_bounds"] = 1;
+      for (const auto& [key, value] : paper_bounds(proto, n, t, budget))
+        s.params[key] = value;
+      out.push_back(std::move(s));
+    };
+    const std::int64_t n = 16 * t;
+    const int f = std::max(1, t / 2 - 1);
+    add("A", n, t - 1, chunk_cascade(n, t));
+    add("B", n, t - 1, chunk_cascade(n, t));
+    add("C", 4 * t, t - 1, chunk_cascade(4 * t, t));
+    add("D", n, f, FaultSpec::cascade(2, f, 0));
+  }
+  return out;
+}
+
+// Real units/sec on the thread substrate next to the same shapes' simulated
+// rows: sim/live scenario pairs whose deterministic row data is
+// byte-identical (the oracle contract); the live rows additionally carry
+// units_per_sec in the --timing section.
+std::vector<Scenario> live_throughput_scenarios() {
+  std::vector<Scenario> out;
+  for (int t : {16, 64}) {
+    const std::int64_t n = 16 * t;
+    const int f = std::max(1, t / 2 - 1);
+    for (const char* proto : {"A", "B", "D"}) {
+      const FaultSpec cascade =
+          std::string(proto) == "D" ? FaultSpec::cascade(2, f, 0) : chunk_cascade(n, t);
+      for (const bool live : {false, true}) {
+        const std::string backend = live ? "live" : "sim";
+        for (const FaultSpec& faults : {FaultSpec::none(), cascade}) {
+          Scenario s = sync_scenario(backend + "/t=" + std::to_string(t) + "/" + proto, proto,
+                                     n, t, faults);
+          if (live) s.substrate = Substrate::kLive;
+          out.push_back(std::move(s));
+        }
+      }
+    }
+  }
+  return out;
+}
+
 // --- smoke: one quick scenario per substrate, for CI artifacts --------------
 
 std::vector<Scenario> smoke_scenarios() {
@@ -798,6 +874,18 @@ const std::vector<ExperimentInfo>& all_experiments() {
        "cascade runs of A/B/C/D at small and medium shapes -- to catch harness "
        "performance regressions; wall-clock rides in the ms column and --timing.",
        sim_microbench_scenarios},
+      {"differential", "Differential oracle (substrate equivalence)",
+       "Identical (protocol, shape, FaultSpec, seed) cases on the simulator and the live "
+       "thread substrate: metric-for-metric equality under the deterministic barrier "
+       "schedule (scripted and adaptive adversaries, A/B/C/D at t=16,64), and paper "
+       "bounds + verifier under the free schedule where the OS scheduler is a real "
+       "adversary.",
+       differential_scenarios},
+      {"live_throughput", "Live substrate throughput (no paper table)",
+       "Real units/sec on the thread substrate beside the same shapes' simulated rows "
+       "(A/B/D, failure-free and cascade): deterministic row data is byte-identical "
+       "across backends; --timing carries wall-clock and units_per_sec.",
+       live_throughput_scenarios},
       {"wan_latency", "Network realism: latency (outside the paper's model)",
        "A/B under uniform per-broadcast uplink delay (sync: whole extra rounds; async: "
        "the link-delay distribution itself), alone and composed with the worst-case "

@@ -294,7 +294,14 @@ std::string to_json(const std::string& experiment, const std::vector<ScenarioRes
       if (i) out += ',';
       out += "{\"id\":\"" + json_escape(rows[i].id) +
              "\",\"rep\":" + std::to_string(rows[i].rep) +
-             ",\"wall_ms\":" + format_ms(rows[i].wall_ms) + '}';
+             ",\"wall_ms\":" + format_ms(rows[i].wall_ms);
+      // Live-substrate repetitions additionally report real throughput
+      // (work units per wall-clock second, measured by src/substrate/);
+      // bench/compare_bench.py --timing diffs these in their own
+      // throughput table so live rows never pollute the wall_ms deltas.
+      if (rows[i].units_per_sec > 0)
+        out += ",\"units_per_sec\":" + format_ms(rows[i].units_per_sec);
+      out += '}';
     }
     out += "]}";
   }

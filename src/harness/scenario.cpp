@@ -8,6 +8,7 @@
 #include "core/runner.h"
 #include "dynamic/dynamic_d.h"
 #include "sharedmem/write_all.h"
+#include "substrate/differential.h"
 #include "util/strings.h"
 
 namespace dowork::harness {
@@ -19,6 +20,8 @@ const char* to_string(Substrate s) {
     case Substrate::kAsync: return "async";
     case Substrate::kSharedMem: return "sharedmem";
     case Substrate::kDynamic: return "dynamic";
+    case Substrate::kLive: return "live";
+    case Substrate::kDifferential: return "differential";
   }
   return "?";
 }
@@ -56,20 +59,72 @@ std::unique_ptr<FaultInjector> make_injector(const Scenario& s, int rep) {
   return s.injector_override ? s.injector_override(r) : s.faults.make(r);
 }
 
+// RunOptions shared by every execution of a registry protocol, whichever
+// backend runs it (sync, live, or the differential pair).
+RunOptions sync_run_options(const Scenario& s, int rep) {
+  RunOptions opts;
+  if (auto it = s.params.find("protocol_param"); it != s.params.end())
+    opts.protocol_param = it->second;
+  // The network component rides beside the crash injector; like the
+  // seeded crash adversaries, repetition r re-seeds the weather.
+  opts.net = s.faults.net;
+  opts.net.seed += static_cast<std::uint64_t>(rep);
+  return opts;
+}
+
 void run_one_rep(const Scenario& s, int rep, ScenarioResult& row) {
   switch (s.substrate) {
     case Substrate::kSync: {
-      RunOptions opts;
-      if (auto it = s.params.find("protocol_param"); it != s.params.end())
-        opts.protocol_param = it->second;
-      // The network component rides beside the crash injector; like the
-      // seeded crash adversaries, repetition r re-seeds the weather.
-      opts.net = s.faults.net;
-      opts.net.seed += static_cast<std::uint64_t>(rep);
+      const RunOptions opts = sync_run_options(s, rep);
+      if (s.force_live) {
+        // CLI backend override: same protocol, injector and verifier on the
+        // thread substrate's deterministic schedule -- row data must come
+        // out byte-identical to the simulator path below.
+        substrate::LiveRunResult r =
+            substrate::run_live_do_all(s.protocol, s.cfg, make_injector(s, rep), opts);
+        fill_sync_metrics(r.run.metrics, row);
+        row.ok = r.run.ok();
+        row.violation = r.run.violation;
+        row.units_per_sec = r.stats.units_per_sec;
+        return;
+      }
       RunResult r = run_do_all(s.protocol, s.cfg, make_injector(s, rep), opts);
       fill_sync_metrics(r.metrics, row);
       row.ok = r.ok();
       row.violation = r.violation;
+      return;
+    }
+    case Substrate::kLive: {
+      substrate::LiveOptions live;
+      if (s.param_or("free_sched", 0) == 1)
+        live.schedule = substrate::LiveOptions::Schedule::kFree;
+      substrate::LiveRunResult r = substrate::run_live_do_all(
+          s.protocol, s.cfg, make_injector(s, rep), sync_run_options(s, rep), live);
+      fill_sync_metrics(r.run.metrics, row);
+      row.ok = r.run.ok();
+      row.violation = r.run.violation;
+      row.units_per_sec = r.stats.units_per_sec;
+      // The kill-point census is plan-derived, hence deterministic under the
+      // deterministic schedule; free-schedule rows are nondeterministic
+      // anyway (that is their point), so the columns are safe either way.
+      if (r.run.metrics.crashes) {
+        row.extra.emplace_back("kill_send", std::to_string(r.stats.kills_send_commit));
+        row.extra.emplace_back("kill_midbcast", std::to_string(r.stats.kills_mid_broadcast));
+        row.extra.emplace_back("kill_barrier", std::to_string(r.stats.kills_round_barrier));
+      }
+      return;
+    }
+    case Substrate::kDifferential: {
+      substrate::DiffOptions opts;
+      opts.run = sync_run_options(s, rep);
+      substrate::DiffResult d = substrate::run_differential(
+          find_protocol(s.protocol), s.cfg, [&] { return make_injector(s, rep); }, opts);
+      // The row reports the sim leg's metrics (either leg would do: a
+      // divergence fails the row before anyone reads them).
+      fill_sync_metrics(d.sim.metrics, row);
+      row.ok = d.ok();
+      row.violation = d.divergence;
+      row.units_per_sec = d.live.stats.units_per_sec;
       return;
     }
     case Substrate::kByzantine: {

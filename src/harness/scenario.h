@@ -23,8 +23,16 @@ namespace dowork::harness {
 
 // Which simulation substrate executes the scenario.  kSync covers every
 // registry protocol (baselines, A, B, C, C_batch, naive_C, D, D_coord); the
-// others are the paper's model variants with their own simulators.
-enum class Substrate : std::uint8_t { kSync, kByzantine, kAsync, kSharedMem, kDynamic };
+// others are the paper's model variants with their own simulators -- except
+// the last two, which are *execution* substrates over the same registry
+// protocols: kLive runs the scenario on the thread substrate
+// (src/substrate/, one worker thread per process; params["free_sched"] = 1
+// selects the free commit schedule), and kDifferential runs it on BOTH
+// backends under the deterministic barrier schedule and fails the row on
+// any metric divergence (the simulator as oracle).
+enum class Substrate : std::uint8_t {
+  kSync, kByzantine, kAsync, kSharedMem, kDynamic, kLive, kDifferential
+};
 
 const char* to_string(Substrate s);
 
@@ -79,6 +87,13 @@ struct Scenario {
   // recorder or to replace it with a frozen-trace replayer.  Never set by
   // the experiment registry, so every registered scenario is pure data.
   std::function<std::unique_ptr<FaultInjector>(std::uint64_t rep)> injector_override;
+  // CLI hook (dowork_bench --backend live): execute this kSync scenario on
+  // the live thread substrate under the deterministic barrier schedule
+  // instead of the simulator.  Row data is byte-identical either way (the
+  // oracle contract), which is exactly what the CI sim-vs-live JSON diff
+  // checks; only the timing section's units_per_sec betrays the backend.
+  // Never set by the experiment registry.
+  bool force_live = false;
 
   std::int64_t param_or(const std::string& key, std::int64_t fallback) const {
     auto it = params.find(key);
@@ -124,6 +139,11 @@ struct ScenarioResult {
   // optional "timing" section only (to_json must be asked for it), never in
   // the deterministic row data that CI byte-compares across --jobs values.
   double wall_ms = 0;
+  // Live-substrate throughput (work units per wall-clock second), measured
+  // by src/substrate/ when the repetition ran on the thread backend; 0 on
+  // pure simulator rows.  Machine-dependent like wall_ms: it rides in the
+  // JSON report's timing section only, never in the deterministic row data.
+  double units_per_sec = 0;
   // Ordered extra columns: paper bounds, per-kind message counts, substrate
   // specifics (APS, reads/writes, lost units, ...).
   std::vector<std::pair<std::string, std::string>> extra;

@@ -17,6 +17,7 @@ std::string RunMetrics::summary() const {
      << " effort=" << effort() << " rounds=" << last_retire_round.to_string()
      << " crashes=" << crashes << " done=" << (all_units_done() ? "yes" : "NO")
      << " retired=" << (all_retired ? "yes" : "NO");
+  if (aborted) os << " aborted=\"" << aborted_reason << '"';
   return os.str();
 }
 
@@ -31,7 +32,7 @@ void MetricsAggregate::absorb(const RunMetrics& m) {
   max_crashes = std::max(max_crashes, m.crashes);
   sum_crashes += m.crashes;
   if (m.last_retire_round > max_rounds) max_rounds = m.last_retire_round;
-  all_ok = all_ok && m.all_retired && m.all_units_done();
+  all_ok = all_ok && m.all_retired && m.all_units_done() && !m.aborted;
 }
 
 std::string MetricsAggregate::summary() const {

@@ -54,6 +54,12 @@ struct RunMetrics {
   bool all_retired = false;   // run ended with every process crashed/terminated
   bool deadlocked = false;    // run ended because nothing could ever happen again
   bool hit_round_cap = false;
+  // Structured degradation: the run was cut short by its execution
+  // substrate (the live backend's watchdog detecting a stalled worker)
+  // rather than finishing.  The reason is human-readable and lands in the
+  // JSON report's violation column instead of the run hanging CTest.
+  bool aborted = false;
+  std::string aborted_reason;
 
   std::uint64_t messages_of(MsgKind k) const {
     return messages_by_kind[static_cast<std::size_t>(k)];

@@ -133,13 +133,28 @@ void Simulator::validate_strict(int proc, const Action& a) const {
                            " emitted more than one broadcast in one round");
 }
 
-void Simulator::step_proc(std::size_t p, const Round& r, const Round& next_r) {
+Action Simulator::eval_one(std::size_t p, const Round& r) {
   RoundContext ctx{r, static_cast<int>(p)};
   const bool has_mail = mail_bits_.test(p);
   InboxView inbox(arriving_, arriving_round_, static_cast<int>(p), has_mail,
                   net_active_ ? &arriving_sent_rounds_ : nullptr);
-  Action a = procs_[p]->on_round(ctx, inbox);
-  consumed_epoch_[p] = epoch_;  // the mail (if any) is consumed with the call
+  return procs_[p]->on_round(ctx, inbox);
+}
+
+Action Simulator::eval_step(int proc) {
+  // Executor entry point: everything this reads (cur_round_, the arriving
+  // ledger, the process object) is a member of this Simulator, never a
+  // per-round stack frame, so a worker thread that starts late -- even
+  // after a watchdog abort unwound run() -- evaluates against live storage.
+  return eval_one(static_cast<std::size_t>(proc), cur_round_);
+}
+
+void Simulator::commit_step(std::size_t p, const Round& r, const Round& next_r, Action a) {
+  // The mail (if any) is consumed with the on_round call, but the
+  // observable effect is committed here so adaptive adversaries inspecting
+  // a later process in this round see exactly the serial interleaving
+  // regardless of how evaluations were scheduled.
+  consumed_epoch_[p] = epoch_;
   if (opt_.strict_one_op) validate_strict(static_cast<int>(p), a);
 
   SimSnapshot snap{static_cast<int>(procs_.size()), alive_, static_cast<int>(metrics_.crashes)};
@@ -188,9 +203,19 @@ void Simulator::step_proc(std::size_t p, const Round& r, const Round& next_r) {
   if (plan) {
     retire(p, ProcState::kCrashed);
     ++metrics_.crashes;
+    if (executor_ != nullptr) {
+      // Classify the kill point for the live backend (simulator.h
+      // documents the taxonomy) so the worker thread actually stops where
+      // the adversary's plan cut the execution.
+      KillPoint kp = KillPoint::kRoundBarrier;
+      if (total > 0) kp = deliver < total ? KillPoint::kMidBroadcast : KillPoint::kSendCommit;
+      executor_->on_retire(static_cast<int>(p), ProcState::kCrashed, kp);
+    }
   } else if (a.terminate) {
     retire(p, ProcState::kTerminated);
     ++metrics_.terminated;
+    if (executor_ != nullptr)
+      executor_->on_retire(static_cast<int>(p), ProcState::kTerminated, KillPoint::kNone);
   } else {
     reschedule(p, next_r);
   }
@@ -255,10 +280,34 @@ void Simulator::commit_record(DeliveryRecord rec, const Round& r) {
 void Simulator::step_round(const Round& r) {
   const std::uint64_t workers_before = metrics_.work_total;
   const Round next_r = r + Round{1};  // one 512-bit add per round, not per step
+  if (executor_ != nullptr) {
+    // Executor path: hand the alive step subset to the executor for the
+    // evaluation phase (possibly concurrent, possibly aborted by its
+    // watchdog), then commit on this thread in the order it returned.
+    // Nothing observable happens between an on_round return and its commit
+    // in the serial path, so "evaluate all, then commit in ascending id
+    // order" is byte-identical to the in-place loop below.
+    live_steps_.clear();
+    for (int p : step_list_) {
+      queued_[static_cast<std::size_t>(p)] = 0;
+      if (state_[static_cast<std::size_t>(p)] == ProcState::kAlive) live_steps_.push_back(p);
+    }
+    if (!live_steps_.empty()) {
+      ready_.clear();
+      executor_->run_steps(*this, r, live_steps_, ready_);  // may throw AbortRun
+      for (StepExecutor::Ready& rd : ready_)
+        commit_step(static_cast<std::size_t>(rd.proc), r, next_r, std::move(rd.action));
+    }
+    metrics_.max_concurrent_workers =
+        std::max(metrics_.max_concurrent_workers, metrics_.work_total - workers_before);
+    step_list_.clear();
+    return;
+  }
   for (int p : step_list_) {
     queued_[static_cast<std::size_t>(p)] = 0;
     if (state_[static_cast<std::size_t>(p)] != ProcState::kAlive) continue;
-    step_proc(static_cast<std::size_t>(p), r, next_r);
+    commit_step(static_cast<std::size_t>(p), r, next_r,
+                eval_one(static_cast<std::size_t>(p), r));
   }
   // All steps of a round are independent (sends land next round), so the
   // concurrent-worker count is simply the work performed this round.
@@ -371,7 +420,18 @@ RunMetrics Simulator::run() {
     cur_round_ = r;
     ledger_round_ = r;  // sends emitted below carry this round
     faults_->on_round_start(r);
-    step_round(r);
+    try {
+      step_round(r);
+    } catch (AbortRun& abort) {
+      // Structured degradation (the thread substrate's watchdog): record
+      // the reason and return normally with partial metrics -- the verifier
+      // turns it into a violation, never a hang or a crash.  Executors
+      // throw before handing back any step, so the aborted round committed
+      // nothing.
+      metrics_.aborted = true;
+      metrics_.aborted_reason = std::move(abort.reason);
+      break;
+    }
     ++metrics_.stepped_rounds;
     metrics_.last_retire_round = r;
 

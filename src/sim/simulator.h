@@ -64,11 +64,77 @@ namespace dowork {
 
 enum class ProcState : std::uint8_t { kAlive, kCrashed, kTerminated };
 
+// Thrown by a StepExecutor to end the run with a structured outcome instead
+// of crashing or hanging: Simulator::run catches it, stamps
+// RunMetrics::aborted / aborted_reason, and returns normally (the verifier
+// then reports the reason as the violation).  The thread substrate's
+// watchdog throws it when a worker misses its round deadline.  Executors
+// may only throw before handing back any evaluated step, so an aborted
+// round commits nothing.
+struct AbortRun {
+  std::string reason;
+};
+
+// How a committed CrashPlan stopped a process, as the live backend
+// classifies its kill points (DESIGN.md "Execution substrates"): a crash
+// whose delivery cut stops short of the flattened send sequence is a
+// mid-broadcast kill, a crash that let every send through (or had none to
+// cut on a sending round) is a send-commit kill, and a crash on a round
+// with no sends at all stops the thread at the round barrier.
+enum class KillPoint : std::uint8_t { kNone, kSendCommit, kMidBroadcast, kRoundBarrier };
+
+// The evaluation half of one step: runs process p's on_round against the
+// current round's inbox, exactly once, without committing anything.
+// Implemented by Simulator; handed to the StepExecutor so worker threads
+// can evaluate steps against an object whose lifetime spans the whole run
+// (never against a per-round stack frame).  Distinct processes are
+// data-independent -- eval_step(p) and eval_step(q) may run concurrently
+// for p != q -- because an evaluation reads only process p's own state plus
+// the round's already-delivered inbox, never this round's commits.
+class StepEval {
+ public:
+  virtual Action eval_step(int proc) = 0;
+
+ protected:
+  ~StepEval() = default;
+};
+
+// Executor hook for the round's evaluation phase.  The default (no
+// executor) is the serial in-place path, byte-identical to the historical
+// simulator; the thread substrate (src/substrate/) installs one that fans
+// evaluations out to per-process worker threads.  Commits always run on the
+// simulator's own thread, in the order the executor returns -- ascending
+// process id reproduces the serial interleaving exactly (the equivalence
+// argument lives in DESIGN.md "Execution substrates").
+class StepExecutor {
+ public:
+  virtual ~StepExecutor() = default;
+
+  // One evaluated step, ready to commit.
+  struct Ready {
+    int proc;
+    Action action;
+  };
+
+  // Evaluate the round's on_round calls.  `steps` is the alive subset of
+  // the step list in ascending id order; the executor must call
+  // eval.eval_step(p) exactly once per entry and append every result to
+  // `out` in the order commits should happen.  May throw AbortRun (before
+  // appending anything) to end the run with a structured reason.
+  virtual void run_steps(StepEval& eval, const Round& round, const std::vector<int>& steps,
+                         std::vector<Ready>& out) = 0;
+
+  // A commit retired process `proc` (crash or terminate); `kp` classifies a
+  // crash's kill point and is kNone for termination.  Called from the
+  // commit phase, between run_steps calls.
+  virtual void on_retire(int proc, ProcState state, KillPoint kp) = 0;
+};
+
 // The simulator is itself the SimObservable it hands the fault injector at
 // run start (FaultInjector::attach): every accessor reads committed state —
 // metrics breakdowns, retirement flags, this round's ledger — so adaptive
 // adversaries (src/adversary/) observe exactly what the model lets them.
-class Simulator final : public SimObservable {
+class Simulator final : public SimObservable, public StepEval {
  public:
   struct Options {
     // Enforce the paper's one-operation-per-round accounting: a step may
@@ -93,6 +159,16 @@ class Simulator final : public SimObservable {
             std::unique_ptr<FaultInjector> faults, Options options);
 
   void set_work_sink(WorkSink sink) { work_sink_ = std::move(sink); }
+
+  // Installs the round-evaluation executor (null = the serial path).  Must
+  // be set before run(); the executor must outlive the run, and -- because
+  // worker threads evaluate against this object -- the Simulator must stay
+  // alive until the executor's threads are joined.
+  void set_step_executor(StepExecutor* executor) { executor_ = executor; }
+
+  // StepEval: evaluate process `proc` against the round being stepped
+  // (cur_round_).  Called by executors, possibly from worker threads.
+  Action eval_step(int proc) override;
 
   // Runs to completion and returns the metrics.  May be called once.
   RunMetrics run();
@@ -148,7 +224,16 @@ class Simulator final : public SimObservable {
   static bool wake_later(const WakeEntry& a, const WakeEntry& b) { return b.wake < a.wake; }
 
   void step_round(const Round& r);
-  void step_proc(std::size_t p, const Round& r, const Round& next_r);
+  // One step, split at the evaluation/commit boundary so an executor can
+  // run evaluations concurrently while commits stay serial: eval_one runs
+  // on_round against the round's inbox (thread-safe across distinct p);
+  // commit_step marks the mail consumed, validates, consults the fault
+  // injector, commits work and sends to the ledger, and retires or
+  // reschedules.  The serial path is eval_one immediately followed by
+  // commit_step per process -- observably identical to the historical
+  // single-function step.
+  Action eval_one(std::size_t p, const Round& r);
+  void commit_step(std::size_t p, const Round& r, const Round& next_r, Action a);
   // Network delivery path (net_active_ only): runs the committed record
   // through the injector's message hook, the partition filter, the loss
   // draws and the latency draw (network_model.h documents the order), then
@@ -169,6 +254,9 @@ class Simulator final : public SimObservable {
   std::unique_ptr<FaultInjector> faults_;
   Options opt_;
   WorkSink work_sink_;
+  StepExecutor* executor_ = nullptr;
+  std::vector<int> live_steps_;                // executor path: alive step subset; reused
+  std::vector<StepExecutor::Ready> ready_;     // executor path: evaluated steps; reused
 
   std::vector<ProcState> state_;
   int alive_ = 0;

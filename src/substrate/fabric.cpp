@@ -1,0 +1,17 @@
+#include "substrate/fabric.h"
+
+namespace dowork::substrate {
+
+namespace {
+// One slot per thread: workers install their run's token on entry and
+// clear it on exit; every other thread reads the default null.
+thread_local const CancelToken* tl_cancel_token = nullptr;
+}  // namespace
+
+bool run_cancelled() { return tl_cancel_token != nullptr && tl_cancel_token->cancelled(); }
+
+namespace detail {
+void set_cancel_token(const CancelToken* token) { tl_cancel_token = token; }
+}  // namespace detail
+
+}  // namespace dowork::substrate

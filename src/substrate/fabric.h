@@ -1,0 +1,162 @@
+// The in-process channel fabric the live thread substrate runs on.
+//
+// Three small primitives, all TSan-clean by construction:
+//
+//   * MpscRing<T> -- a bounded multi-producer single-consumer ring.  Worker
+//     threads (producers) post their evaluated round results; the
+//     supervisor (the single consumer) drains them, sleeping on a condition
+//     variable with a deadline so the watchdog can fire.  Slot handoff is
+//     Vyukov-style per-slot sequence counters (release store by the
+//     producer, acquire load by the consumer establishes the
+//     happens-before for the payload); the mutex exists only for the
+//     consumer's sleep, never on the producers' fast path beyond the empty
+//     lock/unlock that closes the lost-wakeup window.
+//
+//   * WorkerChannel -- the per-worker command mailbox (supervisor ->
+//     worker): step assignments and the exit order.  One mutex + condvar
+//     per worker; posts happen once per stepped round per live worker, so
+//     this is not a hot path even at t = 4096.
+//
+//   * CancelToken + run_cancelled() -- cooperative cancellation.  A
+//     std::thread cannot be killed from outside, so the watchdog publishes
+//     intent here and long-running protocol code (anything that loops
+//     inside on_round) is expected to poll run_cancelled() and return.
+//     The token is installed thread-locally by each worker; on the
+//     simulator backend run_cancelled() is always false.
+//
+// The delivery plane itself is NOT duplicated here: committed sends travel
+// as the broadcast-ledger DeliveryRecord shape of PR 5 (sim/message.h) --
+// audience-addressed, one payload allocation per broadcast -- and workers
+// read them through the same InboxView.  The fabric only moves round
+// assignments down and evaluated Actions back up.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dowork::substrate {
+
+// Cooperative cancellation flag, shared by every worker of one run.
+class CancelToken {
+ public:
+  void cancel() { flag_.store(true, std::memory_order_release); }
+  bool cancelled() const { return flag_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+// True when the calling thread is a live-substrate worker whose run has
+// been cancelled (watchdog abort or shutdown).  Protocol code that loops
+// inside on_round should poll this and return; everywhere else (the
+// simulator backend, tests, the main thread) it is false.
+bool run_cancelled();
+
+namespace detail {
+// Installs/clears the calling thread's cancel token (worker threads only).
+void set_cancel_token(const CancelToken* token);
+}  // namespace detail
+
+// Bounded MPSC ring.  Capacity is rounded up to a power of two and must be
+// >= the maximum number of outstanding (pushed, not yet popped) items --
+// the substrate sizes it at the process count, since each worker posts at
+// most one result per round and the supervisor drains between rounds.
+// push() never blocks under that invariant; pop() never blocks;
+// wait_nonempty_until() is the consumer's deadline sleep.
+template <typename T>
+class MpscRing {
+ public:
+  explicit MpscRing(std::size_t min_capacity) {
+    std::size_t cap = 1;
+    while (cap < min_capacity) cap <<= 1;
+    slots_ = std::vector<Slot>(cap);
+    for (std::size_t i = 0; i < cap; ++i) slots_[i].seq.store(i, std::memory_order_relaxed);
+    mask_ = cap - 1;
+  }
+
+  // Producer side: claim a ticket, fill the slot, publish.  The spin in
+  // the full case is unreachable under the capacity invariant; it exists
+  // so a misuse degrades to waiting, not corruption.
+  void push(T value) {
+    const std::size_t pos = tail_.fetch_add(1, std::memory_order_relaxed);
+    Slot& s = slots_[pos & mask_];
+    while (s.seq.load(std::memory_order_acquire) != pos) std::this_thread::yield();
+    s.value = std::move(value);
+    s.seq.store(pos + 1, std::memory_order_release);
+    // Close the lost-wakeup window: the consumer checks the slot under
+    // sleep_m_, so publishing then passing through the mutex before
+    // notifying guarantees it either saw the slot or will be notified.
+    { std::lock_guard<std::mutex> lock(sleep_m_); }
+    sleep_cv_.notify_one();
+  }
+
+  // Consumer side (single thread).  False when empty at the time of the
+  // call.
+  bool pop(T& out) {
+    Slot& s = slots_[head_ & mask_];
+    if (s.seq.load(std::memory_order_acquire) != head_ + 1) return false;
+    out = std::move(s.value);
+    s.seq.store(head_ + mask_ + 1, std::memory_order_release);
+    ++head_;
+    return true;
+  }
+
+  // Consumer side: sleep until something is poppable or the deadline
+  // passes.  Returns true when poppable.
+  bool wait_nonempty_until(std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock<std::mutex> lock(sleep_m_);
+    return sleep_cv_.wait_until(lock, deadline, [&] {
+      return slots_[head_ & mask_].seq.load(std::memory_order_acquire) == head_ + 1;
+    });
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::size_t> seq{0};
+    T value{};
+  };
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::atomic<std::size_t> tail_{0};  // producers claim tickets here
+  std::size_t head_ = 0;              // consumer-owned
+  std::mutex sleep_m_;
+  std::condition_variable sleep_cv_;
+};
+
+// Supervisor -> worker command mailbox.  kExit is sticky: once posted,
+// every subsequent take() returns it, so a worker draining a stale step
+// assignment still sees the shutdown.
+enum class WorkerCmd : std::uint8_t { kNone, kStep, kExit };
+
+class WorkerChannel {
+ public:
+  void post(WorkerCmd cmd) {
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      if (cmd_ != WorkerCmd::kExit) cmd_ = cmd;
+    }
+    cv_.notify_one();
+  }
+
+  // Blocks until a command is available; consumes kStep, leaves kExit
+  // sticky.
+  WorkerCmd take() {
+    std::unique_lock<std::mutex> lock(m_);
+    cv_.wait(lock, [&] { return cmd_ != WorkerCmd::kNone; });
+    const WorkerCmd cmd = cmd_;
+    if (cmd == WorkerCmd::kStep) cmd_ = WorkerCmd::kNone;
+    return cmd;
+  }
+
+ private:
+  std::mutex m_;
+  std::condition_variable cv_;
+  WorkerCmd cmd_ = WorkerCmd::kNone;
+};
+
+}  // namespace dowork::substrate

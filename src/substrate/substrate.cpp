@@ -1,0 +1,51 @@
+#include "substrate/substrate.h"
+
+#include "substrate/thread_substrate.h"
+
+namespace dowork::substrate {
+
+const char* to_string(Backend b) {
+  switch (b) {
+    case Backend::kSim: return "sim";
+    case Backend::kThread: return "thread";
+  }
+  return "?";
+}
+
+namespace {
+
+class SimSubstrate final : public ISubstrate {
+ public:
+  const char* name() const override { return "sim"; }
+  RunResult run(const ProtocolInfo& info, const DoAllConfig& cfg,
+                std::unique_ptr<FaultInjector> faults, const RunOptions& opts) override {
+    return run_do_all(info, cfg, std::move(faults), opts);
+  }
+  LiveStats last_live_stats() const override { return {}; }
+};
+
+class ThreadSubstrate final : public ISubstrate {
+ public:
+  explicit ThreadSubstrate(LiveOptions live) : live_(live) {}
+  const char* name() const override { return "thread"; }
+  RunResult run(const ProtocolInfo& info, const DoAllConfig& cfg,
+                std::unique_ptr<FaultInjector> faults, const RunOptions& opts) override {
+    LiveRunResult r = run_live_do_all(info, cfg, std::move(faults), opts, live_);
+    last_ = r.stats;
+    return std::move(r.run);
+  }
+  LiveStats last_live_stats() const override { return last_; }
+
+ private:
+  LiveOptions live_;
+  LiveStats last_{};
+};
+
+}  // namespace
+
+std::unique_ptr<ISubstrate> make_substrate(Backend backend, LiveOptions live) {
+  if (backend == Backend::kThread) return std::make_unique<ThreadSubstrate>(live);
+  return std::make_unique<SimSubstrate>();
+}
+
+}  // namespace dowork::substrate

@@ -1,0 +1,96 @@
+// The execution-substrate abstraction (ROADMAP item 4): the same IProcess
+// protocol objects, runnable on two backends.
+//
+//   * Backend::kSim    -- the deterministic synchronous Simulator
+//                         (src/sim/), behind a thin adapter.
+//   * Backend::kThread -- the live ThreadSubstrate: one worker thread per
+//                         process over the in-process channel fabric
+//                         (substrate/fabric.h), with real kill-point fault
+//                         injection (a crashed process's thread actually
+//                         stops) and a watchdog supervisor that turns a
+//                         hung worker into a structured abort instead of a
+//                         hung run.
+//
+// Both backends drive the identical protocol code, fault injectors and
+// verifier; under the deterministic barrier schedule the live backend's
+// metrics match the simulator's field for field, which is what makes the
+// sim a differential-testing oracle (substrate/differential.h).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/runner.h"
+
+namespace dowork::substrate {
+
+enum class Backend : std::uint8_t { kSim, kThread };
+
+const char* to_string(Backend b);
+
+struct LiveOptions {
+  // kDeterministic: the supervisor commits evaluated steps in ascending
+  // process id, reproducing the simulator's serial interleaving exactly --
+  // every metric and adversary decision matches the sim run for run.
+  // kFree: steps commit in completion order, so the OS scheduler becomes a
+  // real nondeterministic adversary; only the paper bounds and the
+  // verifier's invariants are meaningful assertions there.
+  enum class Schedule : std::uint8_t { kDeterministic, kFree };
+  Schedule schedule = Schedule::kDeterministic;
+
+  // Per-round deadline: if a stepped round's evaluations have not all come
+  // back within this wall-clock budget, the watchdog cancels the run and
+  // aborts it with a structured RunMetrics::aborted_reason.
+  std::uint64_t watchdog_ms = 10'000;
+
+  // Teardown grace: how long join-all waits for workers to exit after
+  // cancellation before declaring them leaked (a worker ignoring the
+  // cooperative cancel token; see run_cancelled() in fabric.h).
+  std::uint64_t join_grace_ms = 2'000;
+};
+
+// What the live backend measured beyond the shared RunMetrics: the first
+// real-hardware throughput numbers (units/sec next to simulated-round
+// metrics), the kill-point census, and the teardown outcome.
+struct LiveStats {
+  double wall_seconds = 0;
+  double units_per_sec = 0;  // work_total / wall_seconds (0 when no work)
+  // Crashes by kill point (simulator.h documents the taxonomy).
+  std::uint64_t kills_send_commit = 0;
+  std::uint64_t kills_mid_broadcast = 0;
+  std::uint64_t kills_round_barrier = 0;
+  int threads = 0;      // worker threads spawned
+  bool leaked = false;  // join-all gave up on a worker (its run is pinned)
+};
+
+struct LiveRunResult {
+  RunResult run;
+  LiveStats stats;
+};
+
+// Live counterpart of run_do_all (core/runner.h): same protocol
+// instantiation (minus run-shared caches -- registry.h documents why),
+// same fault injector and verifier, executed on the thread substrate.
+LiveRunResult run_live_do_all(const ProtocolInfo& info, const DoAllConfig& cfg,
+                              std::unique_ptr<FaultInjector> faults, const RunOptions& opts = {},
+                              const LiveOptions& live = {});
+LiveRunResult run_live_do_all(const std::string& protocol, const DoAllConfig& cfg,
+                              std::unique_ptr<FaultInjector> faults, const RunOptions& opts = {},
+                              const LiveOptions& live = {});
+
+// Uniform backend interface for callers that select at runtime.  run() has
+// run_do_all's contract on either backend; last_live_stats() reports the
+// most recent live run's stats (zeroes on the sim backend).
+class ISubstrate {
+ public:
+  virtual ~ISubstrate() = default;
+  virtual const char* name() const = 0;
+  virtual RunResult run(const ProtocolInfo& info, const DoAllConfig& cfg,
+                        std::unique_ptr<FaultInjector> faults, const RunOptions& opts) = 0;
+  virtual LiveStats last_live_stats() const = 0;
+};
+
+std::unique_ptr<ISubstrate> make_substrate(Backend backend, LiveOptions live = {});
+
+}  // namespace dowork::substrate

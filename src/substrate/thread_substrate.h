@@ -1,0 +1,99 @@
+// The live execution backend: one worker thread per process, the
+// simulator's scheduler/commit core as the supervisor, the channel fabric
+// in between.
+//
+// Division of labor (the differential oracle depends on it):
+//
+//   supervisor (caller's thread)          workers (one per process)
+//   ------------------------------------  --------------------------------
+//   delivery, wake scheduling,            IProcess::on_round against the
+//   fault-injector decision points,       round's InboxView -- the whole
+//   work/ledger commits, retirement       protocol execution
+//
+// Each stepped round the supervisor hands the alive step set to the
+// workers (WorkerChannel), collects evaluated Actions off the MPSC ring,
+// and commits them: in ascending process id under the deterministic
+// barrier schedule (byte-identical to the simulator -- the oracle
+// contract), or in completion order under the free schedule (the OS
+// scheduler as a real adversary; the synchronous round barrier itself is
+// part of the model and remains).
+//
+// Crashes are real: when a commit retires a process, its worker thread is
+// ordered out of its loop at the kill point the adversary's plan chose
+// (send-commit, mid-broadcast, round-barrier) and joined at teardown.
+//
+// The watchdog gives every round a wall-clock deadline.  A stalled worker
+// (wedged protocol code, priority inversion, a debugger) triggers
+// cooperative cancellation and an AbortRun with a structured reason --
+// the run reports `aborted` metrics instead of hanging CTest.  Since a
+// std::thread cannot be killed from outside, a worker that never returns
+// from on_round and ignores run_cancelled() cannot be joined: shutdown()
+// waits out join_grace_ms, then detaches it and reports a leak, and
+// run_live_do_all pins (intentionally leaks) the run's storage so the
+// zombie thread never touches freed memory.
+#pragma once
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "substrate/fabric.h"
+#include "substrate/substrate.h"
+
+namespace dowork::substrate {
+
+class ThreadExecutor final : public StepExecutor {
+ public:
+  ThreadExecutor(int num_procs, const LiveOptions& opts);
+  // Clean-path teardown; callers that saw shutdown() report a leak must
+  // keep the executor (and the Simulator its workers evaluate against)
+  // alive forever instead of destroying it.
+  ~ThreadExecutor() override;
+
+  ThreadExecutor(const ThreadExecutor&) = delete;
+  ThreadExecutor& operator=(const ThreadExecutor&) = delete;
+
+  // StepExecutor: fan the round's evaluations out to the workers, collect
+  // with the watchdog deadline, return in commit order.
+  void run_steps(StepEval& eval, const Round& round, const std::vector<int>& steps,
+                 std::vector<Ready>& out) override;
+  // Stop the retired process's worker thread at its kill point.
+  void on_retire(int proc, ProcState state, KillPoint kp) override;
+
+  // Cancel + join-all with the grace deadline; true when every worker
+  // joined (no thread leak).  Idempotent.
+  bool shutdown();
+
+  // Valid after shutdown(); wall_seconds/units_per_sec are filled by
+  // run_live_do_all, which owns the clock.
+  const LiveStats& stats() const { return stats_; }
+
+ private:
+  struct ResultMsg {
+    int proc = -1;
+    Action action;
+  };
+
+  void worker_main(int p);
+
+  LiveOptions opts_;
+  CancelToken cancel_;
+  std::vector<WorkerChannel> channels_;
+  MpscRing<ResultMsg> ring_;
+  std::vector<std::atomic<bool>> exited_;
+  std::mutex exit_m_;
+  std::condition_variable exit_cv_;
+  std::vector<std::thread> threads_;
+  std::atomic<StepEval*> eval_{nullptr};
+
+  // Round-scoped collection scratch (supervisor-only).
+  std::vector<int> slot_of_proc_;      // proc id -> index into the round's steps
+  std::vector<std::uint8_t> have_;     // per-step received flag
+  std::vector<Action> det_actions_;    // deterministic mode: slot per step
+
+  LiveStats stats_;
+  bool shut_down_ = false;
+};
+
+}  // namespace dowork::substrate

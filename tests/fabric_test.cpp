@@ -1,0 +1,135 @@
+// Channel-fabric primitives (src/substrate/fabric.h): the MPSC result ring
+// under real producer threads, the worker command mailbox's sticky exit,
+// and the cooperative cancel token.
+#include "substrate/fabric.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace dowork::substrate {
+namespace {
+
+TEST(FabricTest, MpscRingSingleProducerFifo) {
+  MpscRing<int> ring(4);
+  for (int i = 0; i < 4; ++i) ring.push(i);
+  int v = -1;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(ring.pop(v));
+}
+
+TEST(FabricTest, MpscRingCapacityRoundsUpToPow2) {
+  // min_capacity 5 -> 8 slots: six items fit without any consumer progress.
+  MpscRing<int> ring(5);
+  for (int i = 0; i < 6; ++i) ring.push(i);
+  int v = -1;
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(ring.pop(v));
+    EXPECT_EQ(v, i);
+  }
+}
+
+TEST(FabricTest, MpscRingMultiProducerStress) {
+  // Four producers, a thousand items each, through an 8-slot ring: forces
+  // many laps and the full-ring backpressure spin while the consumer
+  // drains concurrently.  Checks per-producer FIFO and global accounting.
+  constexpr int kProducers = 4;
+  constexpr std::uint64_t kPerProducer = 1000;
+  MpscRing<std::uint64_t> ring(8);
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p)
+    producers.emplace_back([&ring, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i)
+        ring.push((static_cast<std::uint64_t>(p) << 32) | i);
+    });
+
+  std::vector<std::uint64_t> next(kProducers, 0);
+  std::uint64_t total = 0;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (total < kProducers * kPerProducer) {
+    std::uint64_t v = 0;
+    if (!ring.pop(v)) {
+      ASSERT_TRUE(ring.wait_nonempty_until(deadline)) << "ring starved";
+      continue;
+    }
+    const auto p = static_cast<std::size_t>(v >> 32);
+    const std::uint64_t seq = v & 0xffffffffu;
+    ASSERT_LT(p, static_cast<std::size_t>(kProducers));
+    EXPECT_EQ(seq, next[p]) << "producer " << p << " items reordered";
+    ++next[p];
+    ++total;
+  }
+  for (auto& th : producers) th.join();
+  for (int p = 0; p < kProducers; ++p) EXPECT_EQ(next[p], kPerProducer);
+  std::uint64_t v = 0;
+  EXPECT_FALSE(ring.pop(v));
+}
+
+TEST(FabricTest, MpscRingWaitTimesOutWhenEmpty) {
+  MpscRing<int> ring(2);
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(20);
+  EXPECT_FALSE(ring.wait_nonempty_until(deadline));
+}
+
+TEST(FabricTest, MpscRingWaitSeesConcurrentPush) {
+  MpscRing<int> ring(2);
+  std::thread producer([&ring] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ring.push(7);
+  });
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  EXPECT_TRUE(ring.wait_nonempty_until(deadline));
+  int v = 0;
+  EXPECT_TRUE(ring.pop(v));
+  EXPECT_EQ(v, 7);
+  producer.join();
+}
+
+TEST(FabricTest, WorkerChannelDeliversStep) {
+  WorkerChannel ch;
+  ch.post(WorkerCmd::kStep);
+  EXPECT_EQ(ch.take(), WorkerCmd::kStep);
+}
+
+TEST(FabricTest, WorkerChannelExitIsSticky) {
+  WorkerChannel ch;
+  ch.post(WorkerCmd::kExit);
+  // A later step assignment must not mask the shutdown order...
+  ch.post(WorkerCmd::kStep);
+  EXPECT_EQ(ch.take(), WorkerCmd::kExit);
+  // ...and exit stays consumable forever (take leaves it in place).
+  EXPECT_EQ(ch.take(), WorkerCmd::kExit);
+}
+
+TEST(FabricTest, WorkerChannelStepThenExitKeepsExit) {
+  WorkerChannel ch;
+  ch.post(WorkerCmd::kStep);
+  ch.post(WorkerCmd::kExit);  // overwrites the pending step: shutdown wins
+  EXPECT_EQ(ch.take(), WorkerCmd::kExit);
+}
+
+TEST(FabricTest, RunCancelledFalseOutsideWorkers) {
+  // The main thread (and the simulator backend) never has a token.
+  EXPECT_FALSE(run_cancelled());
+}
+
+TEST(FabricTest, RunCancelledTracksInstalledToken) {
+  CancelToken token;
+  detail::set_cancel_token(&token);
+  EXPECT_FALSE(run_cancelled());
+  token.cancel();
+  EXPECT_TRUE(run_cancelled());
+  detail::set_cancel_token(nullptr);
+  EXPECT_FALSE(run_cancelled());
+}
+
+}  // namespace
+}  // namespace dowork::substrate

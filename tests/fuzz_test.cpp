@@ -147,6 +147,58 @@ TEST(FuzzCampaignTest, SmokeCampaignIsCleanAndJobsIndependent) {
   EXPECT_EQ(parallel.to_json(), serial.to_json());
 }
 
+TEST(FuzzCampaignTest, DifferentialModeRunsSyncCasesOnBothBackends) {
+  // --differential flips every sync case to the two-backend substrate; the
+  // oracle contract (src/substrate/differential.h) says the legs agree
+  // metric for metric, so a healthy campaign stays clean and every flipped
+  // row reports the "differential" substrate.
+  CampaignOptions opts;
+  opts.cases = 24;
+  opts.seed = 42;
+  opts.quiet = true;
+  opts.jobs = 2;
+  opts.differential = true;
+  const CampaignResult result = run_campaign(opts);
+  EXPECT_TRUE(result.clean());
+  ASSERT_EQ(result.rows.size(), 24u);
+  int flipped = 0;
+  for (const ScenarioResult& row : result.rows) {
+    EXPECT_TRUE(row.ok) << row.id << ": " << row.violation;
+    if (row.substrate == "differential") ++flipped;
+    else EXPECT_EQ(row.substrate, "async") << row.id;
+  }
+  EXPECT_GT(flipped, 0);
+  EXPECT_NE(result.to_json().find("\"differential\": true"), std::string::npos);
+}
+
+TEST(FuzzCampaignTest, DifferentialModeShrinksSimReproducedViolations) {
+  // A tightened bound fails the differential row on the sim leg's metrics;
+  // the campaign re-runs the simulator alone, reproduces the violation, and
+  // the normal shrink/replay pipeline takes over from there.
+  CampaignOptions opts;
+  opts.cases = 24;
+  opts.seed = 42;
+  opts.tighten_pct = 40;
+  opts.quiet = true;
+  opts.jobs = 2;
+  opts.differential = true;
+  const CampaignResult result = run_campaign(opts);
+  ASSERT_FALSE(result.clean()) << "40% bounds should plant violations";
+  bool checked_one = false;
+  for (const CampaignViolation& v : result.violations) {
+    if (v.row.substrate != "differential") continue;
+    EXPECT_TRUE(is_bound_violation(v.row.violation)) << v.row.violation;
+    EXPECT_TRUE(is_bound_violation(v.shrunk.row.violation)) << v.shrunk.row.violation;
+    // The recovered trace is the sim leg's and replays bit-identically.
+    const Trace reparsed = Trace::parse(v.trace.to_string());
+    EXPECT_EQ(reparsed.substrate, "sync");
+    EXPECT_EQ(outcome_of(replay(reparsed, /*frozen=*/true)), reparsed.outcome);
+    checked_one = true;
+    break;
+  }
+  EXPECT_TRUE(checked_one) << "no differential-substrate violation in the campaign";
+}
+
 TEST(FuzzShrinkTest, PlantedViolationShrinksAndReplays) {
   // Tighten every bound to 40% of the paper's value: violations are now
   // planted by construction.  The shrinker must produce a no-larger
