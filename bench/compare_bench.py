@@ -21,7 +21,10 @@ reports' timing.groups (and timing.per_protocol, when both sides carry it):
 for every group present in both files it prints baseline ms, current ms and
 the speedup ratio (baseline / current, so > 1 is faster).  This is how the
 DESIGN.md perf-trajectory claims are reproduced from two committed
-BENCH_scale.json artifacts.  --threshold applies to groups in this mode
+BENCH_scale.json artifacts.  Per-protocol rollups and totals are compared
+per experiment, for exactly those experiments whose group sets match on
+both sides -- so a multi-experiment baseline array diffs usefully against a
+single-experiment candidate.  --threshold applies to groups in this mode
 (a group is a regression when current > X * baseline and >= 1 ms slower).
 
 With --throughput the comparison reads only the rows carrying a
@@ -93,17 +96,32 @@ def compare_timing(args):
             print(f"added (only in current):    {'/'.join(key)}")
 
     table("timing.groups", base_groups, cur_groups)
-    if set(base_groups) == set(cur_groups):
-        table("timing.per_protocol", base_protos, cur_protos)
-        for exp in sorted(set(base_totals) & set(cur_totals)):
+
+    # Per-protocol sums and totals are only meaningful when both sides timed
+    # the same row set -- a filtered run against a full sweep would print
+    # ratios that are purely the filter.  That judgment is per EXPERIMENT,
+    # not global: a [scale, live_throughput] baseline diffed against a
+    # scale-only candidate must still roll up scale's per_protocol/totals
+    # (live_throughput's absence is already reported as a removed experiment
+    # below), and the missing experiment's disjoint per_protocol keys must
+    # not leak into the rollup as removed protocols.
+    def exp_groups(groups, exp):
+        return {g for e, g in groups if e == exp}
+
+    shared = sorted(set(base_totals) & set(cur_totals))
+    comparable = {e for e in shared
+                  if exp_groups(base_groups, e) == exp_groups(cur_groups, e)}
+    table("timing.per_protocol",
+          {k: v for k, v in base_protos.items() if k[0] in comparable},
+          {k: v for k, v in cur_protos.items() if k[0] in comparable})
+    for exp in shared:
+        if exp in comparable:
             b, c = base_totals[exp], cur_totals[exp]
             print(f"total[{exp}]: {b:.1f} ms -> {c:.1f} ms "
                   f"({b / c if c else float('inf'):.2f}x speedup)")
-    else:
-        # A filtered run against a full sweep: per-protocol sums and totals
-        # would compare different row sets and print ratios that are purely
-        # the filter, so only the matched groups are meaningful.
-        print("(group sets differ: skipping per_protocol/total comparison)")
+        else:
+            print(f"(group sets differ for {exp}: "
+                  "skipping per_protocol/total comparison)")
     for exp in sorted(set(base_totals) - set(cur_totals)):
         print(f"experiment removed (only in baseline): {exp}")
     for exp in sorted(set(cur_totals) - set(base_totals)):

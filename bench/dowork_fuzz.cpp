@@ -36,6 +36,12 @@ int usage(int code) {
       "                  live thread substrate; any metric divergence fails\n"
       "                  the case (divergences are reported unshrunk, with a\n"
       "                  trace of the clean simulator leg attached)\n"
+      "  --parallel-diff [N]\n"
+      "                  run every sync case twice on the simulator -- with\n"
+      "                  round-parallel evaluation (--sim-threads N, default\n"
+      "                  8) and serial -- and fail the case on any decision\n"
+      "                  or outcome divergence (the serial leg is the\n"
+      "                  oracle); exclusive with --differential\n"
       "  --quiet         suppress the progress meter\n"
       "exit status: 0 iff every case satisfied its bounds and invariants\n"
       "\n"
@@ -114,6 +120,14 @@ int main(int argc, char** argv) {
       opts.trace_dir = value();
     } else if (arg == "--differential") {
       opts.differential = true;
+    } else if (arg == "--parallel-diff") {
+      // Optional thread count: consume the next token only when it is a
+      // bare positive integer (so `--parallel-diff --json f` still works).
+      opts.parallel_diff = 8;
+      if (i + 1 < argc && argv[i + 1][0] >= '1' && argv[i + 1][0] <= '9' &&
+          std::strspn(argv[i + 1], "0123456789") == std::strlen(argv[i + 1])) {
+        opts.parallel_diff = std::stoi(argv[++i]);
+      }
     } else if (arg == "--quiet") {
       opts.quiet = true;
     } else if (arg == "--replay") {
@@ -132,6 +146,12 @@ int main(int argc, char** argv) {
     if (!replay_file.empty()) return replay_mode(replay_file, /*frozen=*/!rerun);
     if (opts.cases <= 0 || opts.tighten_pct <= 0) {
       std::fprintf(stderr, "dowork_fuzz: --cases and --tighten must be positive\n");
+      return 2;
+    }
+    if (opts.differential && opts.parallel_diff > 1) {
+      std::fprintf(stderr,
+                   "dowork_fuzz: --differential and --parallel-diff are exclusive "
+                   "(each needs its own oracle leg)\n");
       return 2;
     }
     const dowork::fuzz::CampaignResult result = dowork::fuzz::run_campaign(opts);

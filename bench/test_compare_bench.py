@@ -232,6 +232,59 @@ class CompareBenchTest(unittest.TestCase):
         self.assertNotEqual(r.returncode, 0)
         self.assertIn("mutually exclusive", r.stderr)
 
+    def test_timing_mode_rolls_up_matching_experiment_from_wider_baseline(self):
+        # The committed baseline may be a [scale, live_throughput] array
+        # while the candidate (e.g. the scale_d_perf CI step) re-times only
+        # scale.  The per_protocol/total rollup must still happen for scale
+        # -- whose group sets match exactly -- instead of being skipped
+        # because live_throughput's groups (and its disjoint per_protocol
+        # keys) make the GLOBAL group sets differ.
+        base = self.write("b.json", [
+            report("scale", rows=[], groups={"t=64": 20.0},
+                   per_protocol={"A": 12.0, "D": 8.0}, total=20.0),
+            report("live_throughput", rows=[], groups={"live": 5.0},
+                   per_protocol={"live/A": 5.0}, total=5.0),
+        ])
+        cur = self.write("c.json", report(
+            "scale", rows=[], groups={"t=64": 10.0},
+            per_protocol={"A": 6.0, "D": 4.0}, total=10.0))
+        r = self.run_compare(base, cur, "--timing")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("timing.per_protocol", r.stdout)
+        self.assertIn("scale/A", r.stdout)
+        self.assertIn("total[scale]: 20.0 ms -> 10.0 ms (2.00x speedup)",
+                      r.stdout)
+        # The absent experiment is reported once, as removed -- its
+        # per_protocol keys must not surface as removed protocol rows.
+        self.assertIn("experiment removed (only in baseline): live_throughput",
+                      r.stdout)
+        self.assertNotIn("live/A", r.stdout)
+
+    def test_timing_mode_group_set_check_is_per_experiment(self):
+        # Two shared experiments, one timed identically and one filtered
+        # differently: the first rolls up, the second is skipped by name.
+        base = self.write("b.json", [
+            report("scale", rows=[], groups={"t=64": 10.0},
+                   per_protocol={"A": 10.0}, total=10.0),
+            report("wan_latency", rows=[], groups={"p50": 4.0},
+                   per_protocol={"B": 4.0}, total=4.0),
+        ])
+        cur = self.write("c.json", [
+            report("scale", rows=[], groups={"t=64": 5.0},
+                   per_protocol={"A": 5.0}, total=5.0),
+            report("wan_latency", rows=[], groups={"p99": 6.0},
+                   per_protocol={"B": 6.0}, total=6.0),
+        ])
+        r = self.run_compare(base, cur, "--timing")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("scale/A", r.stdout)
+        self.assertIn("total[scale]", r.stdout)
+        self.assertIn(
+            "(group sets differ for wan_latency: "
+            "skipping per_protocol/total comparison)", r.stdout)
+        self.assertNotIn("total[wan_latency]", r.stdout)
+        self.assertNotIn("wan_latency/B", r.stdout)
+
     def test_timing_mode_added_experiment_is_reported(self):
         base = self.write("b.json", [report("scale", rows=[], groups={"t=64": 1.0})])
         cur = self.write("c.json", [

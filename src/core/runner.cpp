@@ -1,5 +1,7 @@
 #include "core/runner.h"
 
+#include "sim/round_pool.h"
+
 namespace dowork {
 
 RunResult run_do_all(const ProtocolInfo& info, const DoAllConfig& cfg,
@@ -12,6 +14,14 @@ RunResult run_do_all(const ProtocolInfo& info, const DoAllConfig& cfg,
   sim_opts.net = opts.net;
 
   Simulator sim(make_processes(info, cfg, opts.protocol_param), std::move(faults), sim_opts);
+  // The pool must outlive sim.run(): the simulator holds a raw pointer for
+  // the duration of the run.  sim_threads == 1 keeps the classic serial
+  // eval+commit loop (no executor, no threads).
+  std::unique_ptr<RoundPool> pool;
+  if (opts.sim_threads > 1) {
+    pool = std::make_unique<RoundPool>(opts.sim_threads);
+    sim.set_step_executor(pool.get());
+  }
   RunResult result;
   result.metrics = sim.run();
   result.violation = verify_run(info, cfg, result.metrics);

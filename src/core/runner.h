@@ -30,6 +30,11 @@ struct RunOptions {
   // Network weather, forwarded to Simulator::Options verbatim (the default
   // no-op spec keeps the run bit-for-bit crash-only).
   NetSpec net;
+  // Round-parallel evaluation: shard each round's step list over this many
+  // threads (RoundPool).  1 = the classic serial loop; any value yields
+  // byte-identical results (see round_pool.h), so this is purely a
+  // wall-clock knob for big single runs.
+  int sim_threads = 1;
 };
 
 RunResult run_do_all(const ProtocolInfo& info, const DoAllConfig& cfg,

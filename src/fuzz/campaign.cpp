@@ -76,6 +76,10 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
   // (campaign.h); the trace is recovered per-violation below.
   std::vector<Trace> traces(cases.size());
   std::vector<bool> flipped(cases.size(), false);
+  // Parallel-diff bookkeeping: which cases run the threaded-vs-serial pair,
+  // plus the serial (oracle) leg's traces.
+  std::vector<bool> pd(cases.size(), false);
+  std::vector<Trace> serial_traces(cases.size());
   std::vector<harness::Scenario> wrapped;
   wrapped.reserve(cases.size());
   for (std::size_t i = 0; i < cases.size(); ++i) {
@@ -86,6 +90,10 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
       flipped[i] = true;
     } else {
       wrapped.push_back(with_recording(cases[i], &traces[i]));
+      if (opts.parallel_diff > 1 && cases[i].substrate == harness::Substrate::kSync) {
+        wrapped.back().sim_threads = opts.parallel_diff;
+        pd[i] = true;
+      }
     }
   }
 
@@ -100,6 +108,34 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
   result.rows = runner.run("fuzz", wrapped);
   for (std::size_t i = 0; i < result.rows.size(); ++i)
     fill_outcome(result.rows[i], &traces[i]);
+
+  if (opts.parallel_diff > 1) {
+    // Second pass: the serial oracle legs, recorded.  Same fan-out/slot
+    // discipline, so the report stays byte-identical at any --jobs.  The
+    // comparison is whole-trace: identical decision streams AND identical
+    // outcome rows, the strongest check the recorder supports.
+    std::vector<harness::Scenario> oracle;
+    std::vector<std::size_t> oracle_idx;
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      if (!pd[i]) continue;
+      oracle.push_back(with_recording(cases[i], &serial_traces[i]));
+      oracle_idx.push_back(i);
+    }
+    const std::vector<harness::ScenarioResult> oracle_rows = runner.run("fuzz", oracle);
+    for (std::size_t k = 0; k < oracle_rows.size(); ++k) {
+      const std::size_t i = oracle_idx[k];
+      fill_outcome(oracle_rows[k], &serial_traces[i]);
+      if (traces[i] == serial_traces[i]) continue;
+      if (result.rows[i].ok) {
+        const bool outcomes_match = traces[i].outcome == serial_traces[i].outcome;
+        result.rows[i].ok = false;
+        result.rows[i].violation =
+            "parallel-diff divergence: sim_threads=" + std::to_string(opts.parallel_diff) +
+            " leg differs from the serial leg (" +
+            (outcomes_match ? "decision streams" : "outcome") + ")";
+      }
+    }
+  }
 
   // Violations: shrink serially, in case order (the shrinker itself is
   // deterministic, so the whole report stays independent of --jobs).
@@ -126,6 +162,20 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
         v.shrunk.minimal = cases[i];
         v.shrunk.row = result.rows[i];
         v.shrunk.trace = sim.trace;
+      }
+    } else if (pd[i]) {
+      // The serial oracle leg already ran, recorded.  A failure it
+      // reproduces is not a parallelism bug and shrinks normally (the
+      // shrinker's candidates replay serial legs); a clean serial leg means
+      // the round pool diverged, so the case is its own minimal reproducer
+      // and the clean serial trace rides along for inspection.
+      v.trace = serial_traces[i];
+      if (!serial_traces[i].outcome.ok) {
+        v.shrunk = shrink(cases[i], shrink_opts);
+      } else {
+        v.shrunk.minimal = cases[i];
+        v.shrunk.row = result.rows[i];
+        v.shrunk.trace = serial_traces[i];
       }
     } else {
       v.trace = traces[i];
@@ -167,7 +217,9 @@ std::string CampaignResult::to_json() const {
   out << "{\n";
   out << "  \"campaign\": {\"seed\": " << options.seed << ", \"cases\": " << options.cases
       << ", \"tighten_pct\": " << options.tighten_pct
-      << (options.differential ? ", \"differential\": true" : "") << "},\n";
+      << (options.differential ? ", \"differential\": true" : "");
+  if (options.parallel_diff > 1) out << ", \"parallel_diff\": " << options.parallel_diff;
+  out << "},\n";
   out << "  \"summary\": {\"ok\": "
       << rows.size() - violations.size() << ", \"violations\": " << violations.size()
       << "},\n";
@@ -220,6 +272,8 @@ std::string CampaignResult::summary_table() const {
   out << "fuzz campaign: seed " << options.seed << ", " << options.cases << " cases";
   if (options.tighten_pct != 100) out << ", bounds tightened to " << options.tighten_pct << "%";
   if (options.differential) out << ", differential (sim vs live substrate)";
+  if (options.parallel_diff > 1)
+    out << ", parallel-diff (sim_threads=" << options.parallel_diff << " vs serial)";
   out << "\n";
   for (const auto& [protocol, ps] : stats)
     out << "  " << protocol << ": " << ps.ok << "/" << ps.cases << " ok\n";

@@ -44,6 +44,18 @@ struct CampaignOptions {
   // is reported unshrunk (the shrinker's candidates replay single legs
   // only) with a trace of the clean simulator leg attached for inspection.
   bool differential = false;
+  // > 1: run every sync case TWICE on the simulator -- once with
+  // round-parallel evaluation (RunOptions::sim_threads = parallel_diff) and
+  // once serial -- and fail the case if the two executions differ in any
+  // recorded decision or outcome field (the serial leg is the oracle; the
+  // round pool promises byte-identity, sim/round_pool.h).  Unlike
+  // --differential both legs are recordable, so the comparison covers the
+  // full decision traces, not just metrics.  A case whose threaded leg
+  // fails an oracle that the serial leg also fails shrinks normally (the
+  // bug is not parallelism); a genuine divergence is reported unshrunk (the
+  // shrinker replays serial legs only) with the serial-leg trace attached.
+  // Mutually exclusive with differential.
+  int parallel_diff = 0;
   // Suppress the progress meter (stderr).
   bool quiet = false;
 };

@@ -27,6 +27,10 @@ void print_usage(const char* argv0, const std::string& fixed_experiment) {
       "  --backend WHICH     execution backend for sync scenarios: 'sim' (default)\n"
       "                      or 'live' (thread substrate, deterministic schedule;\n"
       "                      identical report rows, real units/sec under --timing)\n"
+      "  --sim-threads N     round-parallel evaluation inside each simulator run\n"
+      "                      (default 1 = serial; reports are byte-identical at\n"
+      "                      any value, so this only moves wall clock -- best for\n"
+      "                      one big run, where --jobs has nothing to fan out)\n"
       "  --timing            include wall-clock timing in the JSON report\n"
       "                      (machine-dependent; breaks byte-identity across runs)\n"
       "  --list              list experiments and exit\n"
@@ -81,6 +85,15 @@ int bench_main(int argc, char** argv, const std::string& fixed_experiment) {
       } else if (value != "sim") {
         std::fprintf(stderr, "%s: --backend wants 'sim' or 'live', got '%s'\n", argv[0],
                      value.c_str());
+        return 2;
+      }
+    } else if (arg == "--sim-threads") {
+      const char* value = next();
+      char* end = nullptr;
+      opt.sim_threads = static_cast<int>(std::strtol(value, &end, 10));
+      if (end == value || *end != '\0' || opt.sim_threads < 1) {
+        std::fprintf(stderr, "%s: --sim-threads wants a positive integer, got '%s'\n", argv[0],
+                     value);
         return 2;
       }
     } else if (arg == "--timing") {
@@ -162,6 +175,9 @@ int bench_main(int argc, char** argv, const std::string& fixed_experiment) {
     if (opt.live_backend)
       for (Scenario& s : scenarios)
         if (s.substrate == Substrate::kSync) s.force_live = true;
+    if (opt.sim_threads > 1)
+      for (Scenario& s : scenarios)
+        if (s.substrate == Substrate::kSync && !s.force_live) s.sim_threads = opt.sim_threads;
     const auto start = std::chrono::steady_clock::now();
     const std::vector<ScenarioResult> rows = runner.run(e->name, scenarios);
     const double secs =

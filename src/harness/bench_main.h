@@ -26,10 +26,15 @@ struct BenchOptions {
   // deterministic report is byte-identical by the oracle contract -- CI
   // diffs the two JSONs -- and --timing additionally carries units_per_sec.
   bool live_backend = false;
+  // --sim-threads N: round-parallel evaluation inside each simulator run
+  // (RoundPool).  Orthogonal to --jobs (scenarios x threads-within-a-run);
+  // byte-identical reports at any value, by the ordered-commit contract.
+  int sim_threads = 1;
 };
 
 // Parses argv (flags: --experiment NAME[,NAME...], --jobs N, --json PATH,
-// --filter SUBSTR, --backend sim|live, --timing, --list, --quiet, --help).
+// --filter SUBSTR, --backend sim|live, --sim-threads N, --timing, --list,
+// --quiet, --help).
 // `fixed_experiment` pins a wrapper binary to its experiment (its
 // --experiment flag is rejected).  Returns the process exit code.
 int bench_main(int argc, char** argv, const std::string& fixed_experiment = "");

@@ -587,10 +587,11 @@ std::vector<Scenario> related_models_scenarios() {
 // The paper's message-complexity separations (A/B's O(t*sqrt(t)) vs C's
 // n + 8t log t vs D's (4f+2)t^2, Theorem 2.3 / Corollary 3.9 / Theorem 4.1)
 // only become visible at sizes far beyond the per-table experiments, so this
-// family sweeps t = 64..4096 with n = 16t under worst-case cascades (the
+// family sweeps t = 64..16384 with n = 16t under worst-case cascades (the
 // t = 2048 and 4096 rows were added once the two-tier Round and the lazy
-// A/B plan made them affordable).  Two model-imposed caveats, documented in
-// DESIGN.md:
+// A/B plan made them affordable; t = 8192 and 16384 once the round-parallel
+// core let --sim-threads soak the big rows).  Three model-imposed caveats,
+// documented in DESIGN.md:
 //   * Protocol C's deadlines are ~2^(n+t) rounds and must fit Round's
 //     promoted 512-bit representation, so its rows ride at the largest
 //     feasible shape (n = 440 - t, batched reports) and stop at t = 256 --
@@ -598,9 +599,12 @@ std::vector<Scenario> related_models_scenarios() {
 //   * Protocol D's message bill is (4f+2)t^2: its adversary uses a fixed
 //     budget of f = 16 crashes so the sweep measures the t^2 growth rather
 //     than drowning in an O(t^3) worst case.
+//   * Protocol D stops at t = 8192: the agreement merge cache's suffix
+//     table is O(t*n) bits (~570 MB at t = 16384), so the top tier is
+//     A/B-only until ROADMAP's sparse-state scale_xl item shrinks it.
 std::vector<Scenario> scale_scenarios() {
   std::vector<Scenario> out;
-  for (int t : {64, 128, 256, 512, 1024, 2048, 4096}) {
+  for (int t : {64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384}) {
     const std::int64_t n = 16 * t;
     const std::int64_t s_ = int_sqrt_ceil(t);
     for (const char* proto : {"A", "B"}) {
@@ -610,7 +614,7 @@ std::vector<Scenario> scale_scenarios() {
       s.params["bound_msgs"] = (std::string(proto) == "A" ? 9 : 10) * t * s_;
       out.push_back(std::move(s));
     }
-    {
+    if (t <= 8192) {
       const int f = std::min(t / 2 - 1, 16);
       Scenario s = sync_scenario("t=" + std::to_string(t) + "/D", "D", n, t,
                                  FaultSpec::cascade(2, f, 0));

@@ -69,6 +69,10 @@ RunOptions sync_run_options(const Scenario& s, int rep) {
   // seeded crash adversaries, repetition r re-seeds the weather.
   opts.net = s.faults.net;
   opts.net.seed += static_cast<std::uint64_t>(rep);
+  // Round-parallel evaluation: only the plain simulator path consults this
+  // (the live substrate runs its own executor), so forwarding it
+  // unconditionally is safe.
+  opts.sim_threads = s.sim_threads;
   return opts;
 }
 

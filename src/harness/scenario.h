@@ -94,6 +94,13 @@ struct Scenario {
   // checks; only the timing section's units_per_sec betrays the backend.
   // Never set by the experiment registry.
   bool force_live = false;
+  // CLI hook (dowork_bench --sim-threads N): round-parallel evaluation for
+  // this kSync scenario's simulator runs (RunOptions::sim_threads).  Byte-
+  // identical row data at any value -- the round pool's ordered-commit
+  // contract, checked by the CI --sim-threads determinism diff -- so, like
+  // --jobs, it is purely a wall-clock knob.  Never set by the experiment
+  // registry.
+  int sim_threads = 1;
 
   std::int64_t param_or(const std::string& key, std::int64_t fallback) const {
     auto it = params.find(key);

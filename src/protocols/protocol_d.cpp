@@ -7,14 +7,36 @@ namespace dowork {
 bool AgreeMergeCache::fold(int self, const Round& round, int phase,
                            const std::vector<const AgreeMsg*>& seen, DynBitset& sn,
                            DynBitset& tn) {
+  return lane_for_this_thread().fold(self, round, phase, seen, sn, tn);
+}
+
+AgreeMergeCache::Lane& AgreeMergeCache::lane_for_this_thread() {
+  // A handful of pool threads at most: linear search under the table mutex
+  // beats a hash map here, and the fold itself then runs lock-free on the
+  // caller's own lane.
+  const std::thread::id me = std::this_thread::get_id();
+  std::lock_guard<std::mutex> lock(lanes_mu_);
+  for (auto& entry : lanes_) {
+    if (entry.first == me) return *entry.second;
+  }
+  lanes_.emplace_back(me, std::make_unique<Lane>());
+  return *lanes_.back().second;
+}
+
+bool AgreeMergeCache::Lane::fold(int self, const Round& round, int phase,
+                                 const std::vector<const AgreeMsg*>& seen, DynBitset& sn,
+                                 DynBitset& tn) {
   const int t = static_cast<int>(seen.size());
   if (seen[static_cast<std::size_t>(self)] != nullptr) return false;  // never hears itself
   if (!active_ || round_ != round) {
-    // New round: pin the collective view from this (lowest-id) requester --
+    // New round: pin the collective view from this (lane-lowest) requester --
     // its own slot stays undefined, a later requester's prefix advance pins
-    // it -- and build the suffix folds.  All buffers are reused round over
-    // round, so a generation costs t view merges and no steady-state
-    // allocation.
+    // it -- and build the suffix folds.  Requesters below the pinning self
+    // can never hit the fast path (their own slot check below rejects them),
+    // so the suffix table is only built above it: the serial lane pays the
+    // classic full build, shard lanes only their own id range.  All buffers
+    // are reused round over round, so a generation costs at most t view
+    // merges and no steady-state allocation.
     active_ = true;
     round_ = round;
     phase_ = phase;
@@ -25,9 +47,10 @@ bool AgreeMergeCache::fold(int self, const Round& round, int phase,
       suffix_sn_.resize(static_cast<std::size_t>(t) + 1);
       suffix_tn_.resize(static_cast<std::size_t>(t) + 1);
     }
+    suffix_base_ = self;
     suffix_sn_[static_cast<std::size_t>(t)] = DynBitset(sn.size(), true);  // AND identity
     suffix_tn_[static_cast<std::size_t>(t)] = DynBitset(tn.size());        // OR identity
-    for (int j = t - 1; j >= 0; --j) {
+    for (int j = t - 1; j > suffix_base_; --j) {
       suffix_sn_[static_cast<std::size_t>(j)] = suffix_sn_[static_cast<std::size_t>(j) + 1];
       suffix_tn_[static_cast<std::size_t>(j)] = suffix_tn_[static_cast<std::size_t>(j) + 1];
       if (const AgreeMsg* m = msgs_[static_cast<std::size_t>(j)]) {
@@ -44,7 +67,11 @@ bool AgreeMergeCache::fold(int self, const Round& round, int phase,
     // pinned set: verify entry-for-entry before touching anything.
     // Undefined slots below `self` are fine (pinned during the prefix
     // advance); at or above `self` they would sit inside the suffix fold,
-    // which cannot happen because requesters arrive in ascending id order.
+    // which cannot happen when this lane's requesters arrive in ascending id
+    // order -- and the same check is what rejects a requester below the
+    // pinning self (whose slot, the lane's only undefined one, lies at
+    // suffix_base_ >= self), so the trimmed suffix table is never read below
+    // suffix_base_ + 1.
     for (int i = 0; i < t; ++i) {
       if (i == self) continue;
       const std::size_t si = static_cast<std::size_t>(i);

@@ -25,6 +25,9 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
 
 #include "core/work.h"
 #include "protocols/protocol_a.h"
@@ -61,11 +64,28 @@ struct AgreeMsg final : Payload {
 // view entry-for-entry (any deviation -- a crash-cut broadcast that missed
 // this recipient, an early arrival from a skewed phase boundary, a silent
 // sender -- returns false and the caller merges the long way).  The cache
-// is shared by the t sibling processes of ONE run (single-threaded,
-// deterministic) and is invisible to every metric, message, and decision;
-// protocol_d_test pins cache and cache-free runs to identical metrics.
-// Requires recipients to be served in ascending process id within a round,
-// which is the simulator's step order.
+// is shared by the t sibling processes of ONE run and is invisible to every
+// metric, message, and decision; protocol_d_test pins cache and cache-free
+// runs to identical metrics.
+//
+// Threading: the round-parallel core (sim/round_pool.h) evaluates recipients
+// on several threads, so one fold state cannot be shared -- requesters from
+// different shards would interleave their prefix advances.  Instead the
+// cache keeps one *lane* of fold state per serving thread, created on first
+// use: the pool hands each thread a run of ascending-id recipients, so every
+// lane independently sees the serial cache's access pattern over its own id
+// range and pins its own collective view from its lowest requester.  Lanes
+// never touch each other's state (the lane table itself is the only
+// mutex-guarded structure), the per-lane fast path is lock-free, and a lane
+// that sees requesters out of ascending order merely falls back to the naive
+// merge -- the validation makes misuse slow, never wrong.  The serial
+// simulator exercises exactly one lane, which behaves byte-for-byte like the
+// pre-lane cache; protocol_d_test's sharded-round tests pin the
+// serving-thread-change cases.
+//
+// Memory: a lane's suffix folds are built only above its pinning (lowest)
+// requester, so lane k of a k-sharded round stores the top 1/k-ish of the
+// suffix table and the lanes together cost ~ln(k) serial tables, not k.
 class AgreeMergeCache {
  public:
   // Folds the collective view of `round` minus `self` into (sn, tn) exactly
@@ -75,14 +95,27 @@ class AgreeMergeCache {
             DynBitset& sn, DynBitset& tn);
 
  private:
-  bool active_ = false;
-  Round round_;
-  int phase_ = 0;
-  std::vector<const AgreeMsg*> msgs_;   // pinned collective view, by sender
-  std::vector<std::uint8_t> defined_;   // msgs_[i] pinned (undefined = a past requester's own slot)
-  std::vector<DynBitset> suffix_sn_, suffix_tn_;  // [j] = fold over senders in [j, t)
-  DynBitset prefix_sn_, prefix_tn_;               // fold over senders in [0, prefix_end_)
-  int prefix_end_ = 0;
+  // One serving thread's complete fold state; the pre-lane cache's fields,
+  // verbatim, plus the suffix trim base.
+  struct Lane {
+    bool fold(int self, const Round& round, int phase, const std::vector<const AgreeMsg*>& seen,
+              DynBitset& sn, DynBitset& tn);
+
+    bool active_ = false;
+    Round round_;
+    int phase_ = 0;
+    std::vector<const AgreeMsg*> msgs_;  // pinned collective view, by sender
+    std::vector<std::uint8_t> defined_;  // msgs_[i] pinned (undefined = a past requester's own slot)
+    std::vector<DynBitset> suffix_sn_, suffix_tn_;  // [j] = fold over senders in [j, t)
+    int suffix_base_ = 0;  // suffix entries valid for j > suffix_base_ (= this round's pinning self)
+    DynBitset prefix_sn_, prefix_tn_;  // fold over senders in [0, prefix_end_)
+    int prefix_end_ = 0;
+  };
+
+  Lane& lane_for_this_thread();
+
+  std::mutex lanes_mu_;  // guards the lane table only, never lane contents
+  std::vector<std::pair<std::thread::id, std::unique_ptr<Lane>>> lanes_;
 };
 
 class ProtocolDProcess final : public IProcess {

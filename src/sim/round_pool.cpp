@@ -1,0 +1,135 @@
+#include "sim/round_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dowork {
+
+RoundPool::RoundPool(int threads, std::size_t min_steps_per_shard)
+    : min_steps_per_shard_(std::max<std::size_t>(1, min_steps_per_shard)) {
+  const int workers = std::max(1, threads) - 1;
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+}
+
+RoundPool::~RoundPool() {
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void RoundPool::run_steps(StepEval& eval, const Round& round, const std::vector<int>& steps,
+                          std::vector<Ready>& out) {
+  (void)round;
+  // Inline path: rounds too small to amortize a dispatch (the sequential
+  // protocols' 1-2 step rounds, and everything when threads() == 1) run on
+  // the calling thread exactly like the serial executor path.
+  const std::size_t n = steps.size();
+  const std::size_t max_shards =
+      std::min<std::size_t>(static_cast<std::size_t>(threads()), n / min_steps_per_shard_);
+  if (max_shards <= 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      Action a = eval.eval_step(steps[i]);
+      out.push_back(Ready{steps[i], std::move(a)});
+    }
+    return;
+  }
+
+  // Dispatch: carve [0, n) into max_shards near-equal contiguous slices.
+  // steps is ascending by id, so shard k's ids all precede shard k+1's.
+  if (shards_.size() < max_shards) shards_.resize(max_shards);
+  const std::size_t base = n / max_shards;
+  const std::size_t rem = n % max_shards;
+  std::size_t pos = 0;
+  for (std::size_t k = 0; k < max_shards; ++k) {
+    Shard& s = shards_[k];
+    s.begin = pos;
+    pos += base + (k < rem ? 1 : 0);
+    s.end = pos;
+    s.out.clear();
+    s.error = nullptr;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    eval_ = &eval;
+    steps_ = &steps;
+    active_shards_ = max_shards;
+    next_shard_ = 0;
+    pending_ = max_shards;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  // The dispatching thread is a full pool member: claim and evaluate shards
+  // until none remain, then wait for the stragglers at the barrier.
+  drain_shards();
+  {
+    std::unique_lock<std::mutex> lock(m_);
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    eval_ = nullptr;
+    steps_ = nullptr;
+  }
+
+  // Post-barrier: surface the first failure in shard order -- i.e. the one
+  // the serial loop would have hit first -- with `out` still untouched, so
+  // an aborting round (watchdog-style AbortRun, or a protocol throw) commits
+  // nothing, matching the serial executor path byte for byte.
+  for (std::size_t k = 0; k < max_shards; ++k) {
+    if (shards_[k].error) std::rethrow_exception(shards_[k].error);
+  }
+  for (std::size_t k = 0; k < max_shards; ++k) {
+    for (Ready& r : shards_[k].out) out.push_back(std::move(r));
+    shards_[k].out.clear();
+  }
+}
+
+void RoundPool::drain_shards() {
+  for (;;) {
+    Shard* shard = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      if (next_shard_ >= active_shards_) return;
+      shard = &shards_[next_shard_++];
+    }
+    eval_shard(*shard);
+    bool last = false;
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      last = (--pending_ == 0);
+    }
+    if (last) done_cv_.notify_one();
+  }
+}
+
+void RoundPool::eval_shard(Shard& shard) {
+  try {
+    for (std::size_t i = shard.begin; i < shard.end; ++i) {
+      const int p = (*steps_)[i];
+      Action a = eval_->eval_step(p);
+      shard.out.push_back(Ready{p, std::move(a)});
+    }
+  } catch (...) {
+    shard.error = std::current_exception();
+  }
+}
+
+void RoundPool::worker_main() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(m_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    drain_shards();
+  }
+}
+
+}  // namespace dowork

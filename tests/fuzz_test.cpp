@@ -171,6 +171,59 @@ TEST(FuzzCampaignTest, DifferentialModeRunsSyncCasesOnBothBackends) {
   EXPECT_NE(result.to_json().find("\"differential\": true"), std::string::npos);
 }
 
+TEST(FuzzCampaignTest, ParallelDiffModeIsCleanAndJobsIndependent) {
+  // --parallel-diff runs every sync case under the round pool and serial,
+  // comparing whole decision traces; the pool's byte-identity contract
+  // (sim/round_pool.h) says a healthy campaign stays clean, and the report
+  // must stay byte-identical across --jobs like every other mode.
+  CampaignOptions opts;
+  opts.cases = 40;
+  opts.seed = 42;
+  opts.quiet = true;
+  opts.jobs = 1;
+  opts.parallel_diff = 4;
+  const CampaignResult serial = run_campaign(opts);
+  EXPECT_TRUE(serial.clean());
+  ASSERT_EQ(serial.rows.size(), 40u);
+  for (const ScenarioResult& row : serial.rows)
+    EXPECT_TRUE(row.ok) << row.id << ": " << row.violation;
+  EXPECT_NE(serial.to_json().find("\"parallel_diff\": 4"), std::string::npos);
+
+  opts.jobs = 8;
+  const CampaignResult parallel = run_campaign(opts);
+  EXPECT_EQ(parallel.to_json(), serial.to_json());
+}
+
+TEST(FuzzCampaignTest, ParallelDiffModeShrinksSeriallyReproducedViolations) {
+  // A tightened bound fails both legs the same way: that is not a
+  // parallelism finding, so the case shrinks through the normal pipeline
+  // (with the serial oracle leg's trace) instead of being reported as a
+  // divergence.
+  CampaignOptions opts;
+  opts.cases = 24;
+  opts.seed = 42;
+  opts.tighten_pct = 40;
+  opts.quiet = true;
+  opts.jobs = 2;
+  opts.parallel_diff = 4;
+  const CampaignResult result = run_campaign(opts);
+  ASSERT_FALSE(result.clean()) << "40% bounds should plant violations";
+  bool checked_one = false;
+  for (const CampaignViolation& v : result.violations) {
+    if (v.row.substrate != "sync") continue;
+    EXPECT_TRUE(is_bound_violation(v.row.violation)) << v.row.violation;
+    EXPECT_EQ(v.row.violation.find("parallel-diff divergence"), std::string::npos)
+        << v.row.violation;
+    EXPECT_TRUE(is_bound_violation(v.shrunk.row.violation)) << v.shrunk.row.violation;
+    const Trace reparsed = Trace::parse(v.trace.to_string());
+    EXPECT_EQ(reparsed.substrate, "sync");
+    EXPECT_EQ(outcome_of(replay(reparsed, /*frozen=*/true)), reparsed.outcome);
+    checked_one = true;
+    break;
+  }
+  EXPECT_TRUE(checked_one) << "no sync-substrate violation in the campaign";
+}
+
 TEST(FuzzCampaignTest, DifferentialModeShrinksSimReproducedViolations) {
   // A tightened bound fails the differential row on the sim leg's metrics;
   // the campaign re-runs the simulator alone, reproduces the violation, and

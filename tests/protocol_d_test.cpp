@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "core/runner.h"
+#include "sim/round_pool.h"
 
 namespace dowork {
 namespace {
@@ -222,6 +225,152 @@ TEST_P(ProtocolDRandom, RandomSchedulesAlwaysComplete) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolDRandom, ::testing::Range(0u, 25u));
+
+// --- the merge cache when the serving thread changes ------------------------
+//
+// The round-parallel core (sim/round_pool.h) evaluates recipients on several
+// threads, so AgreeMergeCache keeps per-serving-thread lanes.  These tests
+// pin the contract directly: each lane independently reproduces the naive
+// fold over its own ascending-id range, and a requester below a lane's
+// pinning self falls back (returns false) instead of reading a suffix entry
+// the lane never built.
+
+// One synthetic agreement round: t messages with distinct views, sender 6
+// silent (a crashed broadcaster every recipient agrees is silent).
+struct FoldFixture {
+  static constexpr int t = 12;
+  static constexpr std::size_t n = 48;
+  std::vector<std::unique_ptr<AgreeMsg>> owned;
+  std::vector<const AgreeMsg*> table;  // by sender; null = silent
+
+  FoldFixture() {
+    table.assign(t, nullptr);
+    for (int i = 0; i < t; ++i) {
+      if (i == 6) continue;
+      DynBitset s(n, true);
+      s.reset(static_cast<std::size_t>(i));      // each sender knows unit i done
+      s.reset(static_cast<std::size_t>(i + 12));
+      DynBitset tv(t);
+      tv.set(static_cast<std::size_t>(i));       // and believes itself alive
+      tv.set(static_cast<std::size_t>((i + 1) % t));
+      owned.push_back(std::make_unique<AgreeMsg>(1, std::move(s), std::move(tv), false));
+      table[static_cast<std::size_t>(i)] = owned.back().get();
+    }
+  }
+
+  // What recipient `self` hears: everyone's message but its own.
+  std::vector<const AgreeMsg*> seen_for(int self) const {
+    std::vector<const AgreeMsg*> seen = table;
+    seen[static_cast<std::size_t>(self)] = nullptr;
+    return seen;
+  }
+
+  // The naive merge the cache must reproduce bit for bit.
+  void naive(int self, DynBitset& sn, DynBitset& tn) const {
+    for (int i = 0; i < t; ++i) {
+      if (i == self) continue;
+      if (const AgreeMsg* m = table[static_cast<std::size_t>(i)]) {
+        sn &= m->s_left;
+        tn |= m->t_alive;
+      }
+    }
+  }
+};
+
+TEST(ProtocolDParallel, MergeCacheLanesMatchNaiveAcrossServingThreads) {
+  const FoldFixture fx;
+  AgreeMergeCache cache;
+  const Round round{7u};
+  // Shard the recipients like the pool would: [0,6) on this thread, [6,12)
+  // on a second -- each lane pins its own view from its lowest requester and
+  // serves ascending ids.  Every fold must hit the fast path and match the
+  // naive merge exactly.
+  auto serve = [&](int lo, int hi, std::vector<int>& fell_back) {
+    for (int self = lo; self < hi; ++self) {
+      DynBitset sn(fx.n, true), tn(fx.t);
+      DynBitset want_sn(fx.n, true), want_tn(fx.t);
+      if (!cache.fold(self, round, 1, fx.seen_for(self), sn, tn)) {
+        fell_back.push_back(self);
+        continue;
+      }
+      fx.naive(self, want_sn, want_tn);
+      EXPECT_EQ(sn, want_sn) << "self " << self;
+      EXPECT_EQ(tn, want_tn) << "self " << self;
+    }
+  };
+  std::vector<int> fb_low, fb_high;
+  std::thread high([&] { serve(6, FoldFixture::t, fb_high); });
+  serve(0, 6, fb_low);
+  high.join();
+  EXPECT_TRUE(fb_low.empty());
+  EXPECT_TRUE(fb_high.empty());
+}
+
+TEST(ProtocolDParallel, MergeCacheRequesterBelowLanePinFallsBack) {
+  const FoldFixture fx;
+  AgreeMergeCache cache;
+  const Round round{7u};
+  // This lane's first requester is 5: its slot is the lane's undefined one
+  // and the suffix table exists only above it.
+  DynBitset sn(fx.n, true), tn(fx.t);
+  ASSERT_TRUE(cache.fold(5, round, 1, fx.seen_for(5), sn, tn));
+  // A lower id on the SAME thread (out of ascending order -- the pool never
+  // does this, but the cache must stay safe if a caller does) returns false
+  // with the views untouched.
+  DynBitset sn2(fx.n, true), tn2(fx.t);
+  const DynBitset sn2_before = sn2, tn2_before = tn2;
+  EXPECT_FALSE(cache.fold(2, round, 1, fx.seen_for(2), sn2, tn2));
+  EXPECT_EQ(sn2, sn2_before);
+  EXPECT_EQ(tn2, tn2_before);
+  // Higher ids keep working, and still match naive.
+  DynBitset sn3(fx.n, true), tn3(fx.t);
+  DynBitset want_sn(fx.n, true), want_tn(fx.t);
+  ASSERT_TRUE(cache.fold(9, round, 1, fx.seen_for(9), sn3, tn3));
+  fx.naive(9, want_sn, want_tn);
+  EXPECT_EQ(sn3, want_sn);
+  EXPECT_EQ(tn3, want_tn);
+}
+
+// End to end: the cache under a genuinely sharded simulator round must stay
+// observably invisible -- cached + sharded vs naive + serial, identical
+// metrics -- including the mid-broadcast cuts that force slow-path merges.
+TEST(ProtocolDParallel, MergeCacheInvisibleUnderShardedRounds) {
+  const DoAllConfig cfg{96, 12};
+  auto faults = [] {
+    return std::make_unique<ScheduledFaults>(std::vector<ScheduledFaults::Entry>{
+        {2, 3, CrashPlan{false, 0}},
+        {5, 9, CrashPlan{true, 5}},
+        {7, 11, CrashPlan{true, 2}},
+    });
+  };
+  auto run_with = [&](bool cached, int threads) {
+    auto cache = cached ? std::make_shared<AgreeMergeCache>() : nullptr;
+    std::vector<std::unique_ptr<IProcess>> procs;
+    for (int i = 0; i < cfg.t; ++i)
+      procs.push_back(std::make_unique<ProtocolDProcess>(cfg, i, cache));
+    Simulator::Options opts;
+    opts.strict_one_op = true;
+    opts.n_units = cfg.n;
+    Simulator sim(std::move(procs), faults(), opts);
+    // min_steps_per_shard = 1 so even t = 12 rounds genuinely shard.
+    RoundPool pool(threads, 1);
+    if (threads > 1) sim.set_step_executor(&pool);
+    return sim.run();
+  };
+  const RunMetrics naive_serial = run_with(false, 1);
+  for (int threads : {2, 4}) {
+    const RunMetrics cached_sharded = run_with(true, threads);
+    EXPECT_EQ(cached_sharded.work_total, naive_serial.work_total) << threads;
+    EXPECT_EQ(cached_sharded.messages_total, naive_serial.messages_total) << threads;
+    EXPECT_EQ(cached_sharded.last_retire_round, naive_serial.last_retire_round) << threads;
+    EXPECT_EQ(cached_sharded.stepped_rounds, naive_serial.stepped_rounds) << threads;
+    EXPECT_EQ(cached_sharded.crashes, naive_serial.crashes) << threads;
+    EXPECT_EQ(cached_sharded.unit_multiplicity, naive_serial.unit_multiplicity) << threads;
+    EXPECT_EQ(cached_sharded.work_by_proc, naive_serial.work_by_proc) << threads;
+    EXPECT_EQ(cached_sharded.messages_by_proc, naive_serial.messages_by_proc) << threads;
+    EXPECT_EQ(cached_sharded.messages_by_kind, naive_serial.messages_by_kind) << threads;
+  }
+}
 
 }  // namespace
 }  // namespace dowork
