@@ -35,6 +35,17 @@ baseline that predates the live backend diffs cleanly: its live rows are
 listed as new throughput rows instead of polluting the wall_ms
 added/removed lists.  --threshold in this mode fails rows whose throughput
 dropped by more than X times.
+
+With --aborts the script takes a SINGLE report (no current argument) and
+switches from timing to supervision: it counts, per experiment, the rows
+that ended in a structured abort (a watchdog firing, a live worker dying
+unexpectedly, ...), bucketed by the cause= key of their machine-readable
+abort_detail extra, and lists each aborted row.  Live-substrate rows carry
+abort_detail whenever the run aborted (src/substrate/); pure-simulator
+reports simply count zero.  This mode needs only the deterministic "rows"
+section, so it works on reports generated without --timing.  Exit status is
+0 when no row aborted, 1 otherwise -- CI uses it as the hang-regression
+guard's triage step.
 """
 
 import argparse
@@ -190,6 +201,46 @@ def compare_throughput(args):
     return 0
 
 
+def list_aborts(path):
+    """Per-experiment abort-row census over one report's deterministic rows."""
+    with open(path, "rb") as f:
+        doc = json.load(f)
+    docs = doc if isinstance(doc, list) else [doc]
+    totals = {}    # experiment -> row count
+    causes = {}    # experiment -> {cause -> count}
+    aborted = []   # (experiment, id, rep, detail)
+    for d in docs:
+        exp = d.get("experiment", "?")
+        rows = d.get("rows")
+        if rows is None:
+            sys.exit(f"{path}: no 'rows' section -- not a dowork_bench report")
+        for r in rows:
+            totals[exp] = totals.get(exp, 0) + 1
+            detail = r.get("extra", {}).get("abort_detail")
+            # abort_detail is authoritative when present; the violation text
+            # catches aborted rows from before the detail column existed.
+            if detail is None and not r.get("violation", "").startswith("run aborted:"):
+                continue
+            cause = "unknown"
+            for pair in (detail or "").split():
+                if pair.startswith("cause="):
+                    cause = pair[len("cause="):]
+                    break
+            causes.setdefault(exp, {})[cause] = causes.get(exp, {}).get(cause, 0) + 1
+            aborted.append((exp, r.get("id", "?"), r.get("rep", 0),
+                            detail or r.get("violation", "")))
+    for exp in sorted(totals):
+        buckets = causes.get(exp, {})
+        if not buckets:
+            print(f"{exp}: 0/{totals[exp]} rows aborted")
+            continue
+        summary = ", ".join(f"{cause}={n}" for cause, n in sorted(buckets.items()))
+        print(f"{exp}: {sum(buckets.values())}/{totals[exp]} rows aborted ({summary})")
+    for exp, row_id, rep, detail in aborted:
+        print(f"  {exp}/{row_id} rep {rep}: {detail}")
+    return 1 if aborted else 0
+
+
 def load(path):
     with open(path, "rb") as f:
         doc = json.load(f)
@@ -220,9 +271,12 @@ def load(path):
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline")
-    ap.add_argument("current")
+    ap.add_argument("current", nargs="?", default=None)
     ap.add_argument("--threshold", type=float, default=None,
                     help="fail (exit 1) when a row is more than X times slower")
+    ap.add_argument("--aborts", action="store_true",
+                    help="census of structured abort rows in a SINGLE report "
+                         "(no current argument), bucketed by abort_detail cause=")
     ap.add_argument("--timing", action="store_true",
                     help="diff timing.groups/per_protocol and print speedup ratios "
                          "instead of matching per-repetition rows")
@@ -233,6 +287,14 @@ def main():
 
     if args.timing and args.throughput:
         ap.error("--timing and --throughput are mutually exclusive")
+    if args.aborts:
+        if args.timing or args.throughput:
+            ap.error("--aborts is exclusive with --timing/--throughput")
+        if args.current is not None:
+            ap.error("--aborts reads a single report; drop the second argument")
+        return list_aborts(args.baseline)
+    if args.current is None:
+        ap.error("the comparison modes need both BASELINE and CURRENT reports")
     if args.throughput:
         return compare_throughput(args)
     if args.timing:

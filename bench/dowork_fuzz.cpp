@@ -17,6 +17,7 @@
 
 #include "fuzz/campaign.h"
 #include "fuzz/trace.h"
+#include "substrate/socket_substrate.h"
 
 namespace {
 
@@ -32,10 +33,13 @@ int usage(int code) {
       "                  (plants deliberate violations; default 100)\n"
       "  --json FILE     write the deterministic campaign report\n"
       "  --trace-dir DIR write violation traces (original + shrunk reproducer)\n"
-      "  --differential  run every sync case on both the simulator and the\n"
-      "                  live thread substrate; any metric divergence fails\n"
-      "                  the case (divergences are reported unshrunk, with a\n"
-      "                  trace of the clean simulator leg attached)\n"
+      "  --differential [thread|socket]\n"
+      "                  run every sync case on both the simulator and a live\n"
+      "                  substrate -- worker threads (default) or worker OS\n"
+      "                  processes over localhost sockets, where crashes are\n"
+      "                  real SIGKILLs; any metric divergence fails the case\n"
+      "                  (divergences are reported unshrunk, with a trace of\n"
+      "                  the clean simulator leg attached)\n"
       "  --parallel-diff [N]\n"
       "                  run every sync case twice on the simulator -- with\n"
       "                  round-parallel evaluation (--sim-threads N, default\n"
@@ -92,6 +96,10 @@ int replay_mode(const std::string& file, bool frozen) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Socket-substrate workers re-execute this very binary (differential
+  // socket campaigns fork them via /proc/self/exe); a worker argv never
+  // looks like a fuzz invocation, so the hook is a no-op otherwise.
+  if (int code = dowork::substrate::maybe_socket_worker(argc, argv); code >= 0) return code;
   dowork::fuzz::CampaignOptions opts;
   std::string json_file;
   std::string replay_file;
@@ -120,6 +128,14 @@ int main(int argc, char** argv) {
       opts.trace_dir = value();
     } else if (arg == "--differential") {
       opts.differential = true;
+      // Optional backend name: consume the next token only when it names a
+      // live substrate (so `--differential --json f` still works).
+      if (i + 1 < argc && std::strcmp(argv[i + 1], "socket") == 0) {
+        opts.differential_socket = true;
+        ++i;
+      } else if (i + 1 < argc && std::strcmp(argv[i + 1], "thread") == 0) {
+        ++i;
+      }
     } else if (arg == "--parallel-diff") {
       // Optional thread count: consume the next token only when it is a
       // bare positive integer (so `--parallel-diff --json f` still works).

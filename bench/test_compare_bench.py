@@ -295,6 +295,82 @@ class CompareBenchTest(unittest.TestCase):
         self.assertEqual(r.returncode, 0, r.stdout)
         self.assertIn("experiment added (only in current):    wan_latency", r.stdout)
 
+    # --- abort census mode -------------------------------------------------
+
+    def run_aborts(self, path, *flags):
+        return subprocess.run(
+            [sys.executable, SCRIPT, path, "--aborts", *flags],
+            capture_output=True, text=True)
+
+    @staticmethod
+    def deterministic_report(experiment, rows):
+        """A report with only the deterministic 'rows' section (no --timing):
+        rows is a list of (id, rep, violation, extra) tuples."""
+        return {"experiment": experiment,
+                "rows": [{"id": i, "rep": rep, "violation": v, "extra": extra}
+                         for i, rep, v, extra in rows]}
+
+    def test_aborts_clean_report_exits_zero(self):
+        path = self.write("r.json", self.deterministic_report(
+            "differential", [("socket/det-t16/A", 0, "", {})]))
+        r = self.run_aborts(path)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("differential: 0/1 rows aborted", r.stdout)
+
+    def test_aborts_buckets_by_cause_and_exits_one(self):
+        path = self.write("r.json", self.deterministic_report("differential", [
+            ("socket/det-t16/A", 0, "run aborted: worker hang",
+             {"abort_detail": "cause=watchdog proc=3 round=7"}),
+            ("socket/det-t16/B", 0, "run aborted: worker hang",
+             {"abort_detail": "cause=watchdog proc=1 round=2"}),
+            ("socket/det-t16/C", 0, "run aborted: worker 4 exited",
+             {"abort_detail": "cause=worker-eof pid=123 round=5"}),
+            ("socket/det-t16/D", 0, "", {}),
+        ]))
+        r = self.run_aborts(path)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("differential: 3/4 rows aborted "
+                      "(watchdog=2, worker-eof=1)", r.stdout)
+        self.assertIn("differential/socket/det-t16/A rep 0: "
+                      "cause=watchdog proc=3 round=7", r.stdout)
+
+    def test_aborts_detail_free_abort_rows_count_as_unknown(self):
+        # Rows from before the abort_detail column existed still carry the
+        # "run aborted:" violation prefix; they bucket as unknown.
+        path = self.write("r.json", self.deterministic_report(
+            "live_throughput",
+            [("live/t=16/A", 1, "run aborted: watchdog", {})]))
+        r = self.run_aborts(path)
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("live_throughput: 1/1 rows aborted (unknown=1)", r.stdout)
+
+    def test_aborts_accepts_multi_experiment_arrays(self):
+        path = self.write("r.json", [
+            self.deterministic_report("smoke", [("sync/A", 0, "", {})]),
+            self.deterministic_report("differential", [
+                ("socket/det-t16/A", 0, "run aborted: spawn",
+                 {"abort_detail": "cause=spawn proc=2 errno=11"})]),
+        ])
+        r = self.run_aborts(path)
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("smoke: 0/1 rows aborted", r.stdout)
+        self.assertIn("differential: 1/1 rows aborted (spawn=1)", r.stdout)
+
+    def test_aborts_rejects_a_second_report(self):
+        path = self.write("r.json", self.deterministic_report("smoke", []))
+        other = self.write("o.json", self.deterministic_report("smoke", []))
+        r = subprocess.run([sys.executable, SCRIPT, path, other, "--aborts"],
+                           capture_output=True, text=True)
+        self.assertNotEqual(r.returncode, 0)
+        self.assertIn("single report", r.stderr)
+
+    def test_comparison_modes_still_require_both_reports(self):
+        path = self.write("r.json", self.deterministic_report("smoke", []))
+        r = subprocess.run([sys.executable, SCRIPT, path],
+                           capture_output=True, text=True)
+        self.assertNotEqual(r.returncode, 0)
+        self.assertIn("BASELINE and CURRENT", r.stderr)
+
 
 if __name__ == "__main__":
     unittest.main()

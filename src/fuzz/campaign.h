@@ -44,6 +44,13 @@ struct CampaignOptions {
   // is reported unshrunk (the shrinker's candidates replay single legs
   // only) with a trace of the clean simulator leg attached for inspection.
   bool differential = false;
+  // With differential: the non-oracle leg is the socket-process substrate
+  // (one worker OS process per protocol process, crashes as real SIGKILLs)
+  // instead of the thread substrate.  Everything else -- oracles, shrink
+  // policy, divergence reporting -- is identical; a socket-leg abort
+  // (watchdog, worker death) surfaces as a divergence like any other
+  // metric mismatch.  Ignored without differential.
+  bool differential_socket = false;
   // > 1: run every sync case TWICE on the simulator -- once with
   // round-parallel evaluation (RunOptions::sim_threads = parallel_diff) and
   // once serial -- and fail the case if the two executions differ in any

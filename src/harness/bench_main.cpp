@@ -9,6 +9,7 @@
 #include "harness/experiments.h"
 #include "harness/parallel_runner.h"
 #include "harness/report.h"
+#include "substrate/socket_substrate.h"
 
 namespace dowork::harness {
 
@@ -24,9 +25,14 @@ void print_usage(const char* argv0, const std::string& fixed_experiment) {
       "  --jobs N            worker threads (default: hardware concurrency)\n"
       "  --json PATH         write the machine-readable report to PATH ('-' = stdout)\n"
       "  --filter SUBSTR     only run scenarios whose id contains SUBSTR\n"
-      "  --backend WHICH     execution backend for sync scenarios: 'sim' (default)\n"
-      "                      or 'live' (thread substrate, deterministic schedule;\n"
-      "                      identical report rows, real units/sec under --timing)\n"
+      "  --backend WHICH     execution backend for sync scenarios: 'sim' (default),\n"
+      "                      'live' (thread substrate), or 'socket' (one worker OS\n"
+      "                      process per protocol process over localhost sockets);\n"
+      "                      both live backends use the deterministic schedule, so\n"
+      "                      report rows are identical to sim's, with real\n"
+      "                      units/sec under --timing\n"
+      "  --transport WHICH   socket-backend transport: 'uds' (default) or 'tcp'\n"
+      "                      (127.0.0.1); requires --backend socket\n"
       "  --sim-threads N     round-parallel evaluation inside each simulator run\n"
       "                      (default 1 = serial; reports are byte-identical at\n"
       "                      any value, so this only moves wall clock -- best for\n"
@@ -39,14 +45,25 @@ void print_usage(const char* argv0, const std::string& fixed_experiment) {
 }
 
 void list_experiments() {
-  for (const ExperimentInfo& e : all_experiments())
-    std::printf("%-20s %-40s %zu scenarios\n", e.name.c_str(), e.title.c_str(),
-                e.scenarios().size());
+  for (const ExperimentInfo& e : all_experiments()) {
+    const std::vector<Scenario> scenarios = e.scenarios();
+    bool any_sync = false;
+    for (const Scenario& s : scenarios)
+      if (s.substrate == Substrate::kSync) { any_sync = true; break; }
+    // The marker is a trailing column, so `--list | awk '{print $1}'` style
+    // scripting keeps seeing the names: experiments with sync scenarios
+    // accept --backend live|socket.
+    std::printf("%-20s %-40s %zu scenarios%s\n", e.name.c_str(), e.title.c_str(),
+                scenarios.size(), any_sync ? "  [--backend capable]" : "");
+  }
 }
 
 }  // namespace
 
 int bench_main(int argc, char** argv, const std::string& fixed_experiment) {
+  // Socket-substrate workers re-execute this very binary; a worker argv
+  // never looks like a bench invocation, so the hook is a no-op otherwise.
+  if (int code = substrate::maybe_socket_worker(argc, argv); code >= 0) return code;
   BenchOptions opt;
   opt.experiment = fixed_experiment;
   for (int i = 1; i < argc; ++i) {
@@ -81,9 +98,24 @@ int bench_main(int argc, char** argv, const std::string& fixed_experiment) {
     } else if (arg == "--backend") {
       const std::string value = next();
       if (value == "live") {
-        opt.live_backend = true;
-      } else if (value != "sim") {
-        std::fprintf(stderr, "%s: --backend wants 'sim' or 'live', got '%s'\n", argv[0],
+        opt.backend = Scenario::ForceBackend::kLive;
+      } else if (value == "socket") {
+        opt.backend = Scenario::ForceBackend::kSocket;
+      } else if (value == "sim") {
+        opt.backend = Scenario::ForceBackend::kNone;
+      } else {
+        std::fprintf(stderr, "%s: --backend wants 'sim', 'live' or 'socket', got '%s'\n",
+                     argv[0], value.c_str());
+        return 2;
+      }
+    } else if (arg == "--transport") {
+      const std::string value = next();
+      if (value == "tcp") {
+        opt.transport_tcp = true;
+      } else if (value == "uds") {
+        opt.transport_tcp = false;
+      } else {
+        std::fprintf(stderr, "%s: --transport wants 'uds' or 'tcp', got '%s'\n", argv[0],
                      value.c_str());
         return 2;
       }
@@ -112,6 +144,10 @@ int bench_main(int argc, char** argv, const std::string& fixed_experiment) {
     }
   }
 
+  if (opt.transport_tcp && opt.backend != Scenario::ForceBackend::kSocket) {
+    std::fprintf(stderr, "%s: --transport requires --backend socket\n", argv[0]);
+    return 2;
+  }
   if (opt.list_only) {
     list_experiments();
     return 0;
@@ -172,12 +208,16 @@ int bench_main(int argc, char** argv, const std::string& fixed_experiment) {
       }
       filter_matched_any = true;
     }
-    if (opt.live_backend)
+    if (opt.backend != Scenario::ForceBackend::kNone)
       for (Scenario& s : scenarios)
-        if (s.substrate == Substrate::kSync) s.force_live = true;
+        if (s.substrate == Substrate::kSync) {
+          s.force_backend = opt.backend;
+          if (opt.transport_tcp) s.params["transport_tcp"] = 1;
+        }
     if (opt.sim_threads > 1)
       for (Scenario& s : scenarios)
-        if (s.substrate == Substrate::kSync && !s.force_live) s.sim_threads = opt.sim_threads;
+        if (s.substrate == Substrate::kSync && s.force_backend == Scenario::ForceBackend::kNone)
+          s.sim_threads = opt.sim_threads;
     const auto start = std::chrono::steady_clock::now();
     const std::vector<ScenarioResult> rows = runner.run(e->name, scenarios);
     const double secs =

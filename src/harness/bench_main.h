@@ -9,6 +9,8 @@
 
 #include <string>
 
+#include "harness/scenario.h"
+
 namespace dowork::harness {
 
 struct BenchOptions {
@@ -21,11 +23,17 @@ struct BenchOptions {
   bool list_only = false;
   bool quiet = false;   // suppress tables (JSON/e2e timing only)
   bool timing = false;  // include the machine-dependent "timing" JSON key
-  // --backend live: execute every sync scenario on the live thread
-  // substrate (deterministic schedule) instead of the simulator.  The
-  // deterministic report is byte-identical by the oracle contract -- CI
-  // diffs the two JSONs -- and --timing additionally carries units_per_sec.
-  bool live_backend = false;
+  // --backend live|socket: execute every sync scenario on a live substrate
+  // (deterministic barrier schedule) instead of the simulator -- worker
+  // threads for live, worker OS processes over localhost sockets for
+  // socket.  The deterministic report is byte-identical on every backend by
+  // the oracle contract -- CI diffs the JSONs -- and --timing additionally
+  // carries units_per_sec.
+  Scenario::ForceBackend backend = Scenario::ForceBackend::kNone;
+  // --transport tcp: the socket backend speaks TCP over 127.0.0.1 instead
+  // of the default Unix-domain sockets.  Only meaningful with
+  // --backend socket (rejected otherwise, to catch typos).
+  bool transport_tcp = false;
   // --sim-threads N: round-parallel evaluation inside each simulator run
   // (RoundPool).  Orthogonal to --jobs (scenarios x threads-within-a-run);
   // byte-identical reports at any value, by the ordered-commit contract.
@@ -33,8 +41,11 @@ struct BenchOptions {
 };
 
 // Parses argv (flags: --experiment NAME[,NAME...], --jobs N, --json PATH,
-// --filter SUBSTR, --backend sim|live, --sim-threads N, --timing, --list,
-// --quiet, --help).
+// --filter SUBSTR, --backend sim|live|socket, --transport uds|tcp,
+// --sim-threads N, --timing, --list, --quiet, --help).  Socket-substrate
+// worker re-executions (substrate::maybe_socket_worker) are intercepted
+// before flag parsing, so every bench binary can serve as its own worker
+// image.
 // `fixed_experiment` pins a wrapper binary to its experiment (its
 // --experiment flag is rejected).  Returns the process exit code.
 int bench_main(int argc, char** argv, const std::string& fixed_experiment = "");

@@ -708,6 +708,60 @@ std::vector<Scenario> differential_scenarios() {
     add("C", 4 * t, t - 1, chunk_cascade(4 * t, t));
     add("D", n, f, FaultSpec::cascade(2, f, 0));
   }
+  // Socket-process legs of the same oracle: identical shapes and
+  // adversaries, but the non-oracle leg runs one worker OS process per
+  // protocol process (params["socket"] = 1), so crashes are real SIGKILLs
+  // and the barrier crosses a kernel socket.  Group names deliberately use
+  // "det-tN"/"free-tN" (no slash after det/free): --filter det/ and
+  // --filter free/ keep selecting the thread rows only, --filter socket/
+  // selects exactly these.
+  for (int t : {16, 64}) {
+    const std::string ts = "socket/det-t" + std::to_string(t);
+    auto add = [&](const std::string& name, const char* proto, std::int64_t n,
+                   FaultSpec faults) {
+      Scenario s = sync_scenario(ts + "/" + name, proto, n, t, std::move(faults));
+      s.substrate = Substrate::kDifferential;
+      s.params["socket"] = 1;
+      out.push_back(std::move(s));
+    };
+    const std::int64_t n = 16 * t;
+    const int f = std::max(1, t / 2 - 1);
+    add("A", "A", n, chunk_cascade(n, t));
+    add("A", "A", n, FaultSpec::adaptive("greedy", t - 1, /*seed=*/1));
+    add("B", "B", n, chunk_cascade(n, t));
+    add("B", "B", n, FaultSpec::adaptive("chain", t - 1, /*seed=*/1));
+    add("C", "C", 4 * t, chunk_cascade(4 * t, t));
+    add("D", "D", n, FaultSpec::cascade(2, f, 0));
+    add("D", "D", n, FaultSpec::adaptive("greedy", f, /*seed=*/1));
+    // One TCP row per shape keeps the 127.0.0.1 transport honest in the
+    // same sweep (everything else defaults to Unix-domain sockets).
+    {
+      Scenario s = sync_scenario(ts + "/B-tcp", "B", n, t, chunk_cascade(n, t));
+      s.substrate = Substrate::kDifferential;
+      s.params["socket"] = 1;
+      s.params["transport_tcp"] = 1;
+      out.push_back(std::move(s));
+    }
+  }
+  for (int t : {16, 64}) {
+    const std::string ts = "socket/free-t" + std::to_string(t);
+    auto add = [&](const char* proto, std::int64_t n, int budget, FaultSpec faults) {
+      Scenario s = sync_scenario(ts + "/" + proto, proto, n, t, std::move(faults));
+      s.substrate = Substrate::kLive;
+      s.params["socket"] = 1;
+      s.params["free_sched"] = 1;
+      s.params["assert_bounds"] = 1;
+      for (const auto& [key, value] : paper_bounds(proto, n, t, budget))
+        s.params[key] = value;
+      out.push_back(std::move(s));
+    };
+    const std::int64_t n = 16 * t;
+    const int f = std::max(1, t / 2 - 1);
+    add("A", n, t - 1, chunk_cascade(n, t));
+    add("B", n, t - 1, chunk_cascade(n, t));
+    add("C", 4 * t, t - 1, chunk_cascade(4 * t, t));
+    add("D", n, f, FaultSpec::cascade(2, f, 0));
+  }
   return out;
 }
 
@@ -879,11 +933,12 @@ const std::vector<ExperimentInfo>& all_experiments() {
        "performance regressions; wall-clock rides in the ms column and --timing.",
        sim_microbench_scenarios},
       {"differential", "Differential oracle (substrate equivalence)",
-       "Identical (protocol, shape, FaultSpec, seed) cases on the simulator and the live "
-       "thread substrate: metric-for-metric equality under the deterministic barrier "
-       "schedule (scripted and adaptive adversaries, A/B/C/D at t=16,64), and paper "
-       "bounds + verifier under the free schedule where the OS scheduler is a real "
-       "adversary.",
+       "Identical (protocol, shape, FaultSpec, seed) cases on the simulator and a live "
+       "substrate -- worker threads (det/, free/) and worker OS processes over localhost "
+       "sockets (socket/): metric-for-metric equality under the deterministic barrier "
+       "schedule (scripted and adaptive adversaries, A/B/C/D at t=16,64, crashes as real "
+       "SIGKILLs on the socket legs), and paper bounds + verifier under the free "
+       "schedule where the OS scheduler is a real adversary.",
        differential_scenarios},
       {"live_throughput", "Live substrate throughput (no paper table)",
        "Real units/sec on the thread substrate beside the same shapes' simulated rows "

@@ -9,6 +9,7 @@
 #include "dynamic/dynamic_d.h"
 #include "sharedmem/write_all.h"
 #include "substrate/differential.h"
+#include "substrate/socket_substrate.h"
 #include "util/strings.h"
 
 namespace dowork::harness {
@@ -50,6 +51,12 @@ void fill_sync_metrics(const RunMetrics& m, ScenarioResult& row) {
   if (m.net_dropped) row.extra.emplace_back("net_dropped", std::to_string(m.net_dropped));
   if (m.net_blocked) row.extra.emplace_back("net_blocked", std::to_string(m.net_blocked));
   if (m.net_delayed) row.extra.emplace_back("net_delayed", std::to_string(m.net_delayed));
+  // Aborted runs (watchdog fires, worker process dies unexpectedly, ...)
+  // carry the machine-readable "key=value ..." detail string so tooling
+  // (compare_bench.py --aborts) can bucket them by cause without parsing
+  // prose.  Absent on every healthy row.
+  if (m.aborted && !m.abort_detail.empty())
+    row.extra.emplace_back("abort_detail", m.abort_detail);
 }
 
 // The crash injector for one repetition: the spec's own factory, unless the
@@ -76,16 +83,29 @@ RunOptions sync_run_options(const Scenario& s, int rep) {
   return opts;
 }
 
+// Live-substrate knobs the scenario's params can set: the socket backend's
+// transport (params["transport_tcp"] = 1 picks TCP over the UDS default).
+// Harmless on the thread backend, which ignores the transport field.
+substrate::LiveOptions scenario_live_options(const Scenario& s) {
+  substrate::LiveOptions live;
+  if (s.param_or("transport_tcp", 0) == 1) live.transport = substrate::Transport::kTcp;
+  return live;
+}
+
 void run_one_rep(const Scenario& s, int rep, ScenarioResult& row) {
   switch (s.substrate) {
     case Substrate::kSync: {
       const RunOptions opts = sync_run_options(s, rep);
-      if (s.force_live) {
-        // CLI backend override: same protocol, injector and verifier on the
-        // thread substrate's deterministic schedule -- row data must come
-        // out byte-identical to the simulator path below.
+      if (s.force_backend != Scenario::ForceBackend::kNone) {
+        // CLI backend override: same protocol, injector and verifier on a
+        // live substrate's deterministic barrier schedule -- row data must
+        // come out byte-identical to the simulator path below, whether the
+        // workers are threads (kLive) or OS processes (kSocket).
         substrate::LiveRunResult r =
-            substrate::run_live_do_all(s.protocol, s.cfg, make_injector(s, rep), opts);
+            s.force_backend == Scenario::ForceBackend::kSocket
+                ? substrate::run_socket_do_all(s.protocol, s.cfg, make_injector(s, rep),
+                                               opts, scenario_live_options(s))
+                : substrate::run_live_do_all(s.protocol, s.cfg, make_injector(s, rep), opts);
         fill_sync_metrics(r.run.metrics, row);
         row.ok = r.run.ok();
         row.violation = r.run.violation;
@@ -99,11 +119,18 @@ void run_one_rep(const Scenario& s, int rep, ScenarioResult& row) {
       return;
     }
     case Substrate::kLive: {
-      substrate::LiveOptions live;
+      substrate::LiveOptions live = scenario_live_options(s);
       if (s.param_or("free_sched", 0) == 1)
         live.schedule = substrate::LiveOptions::Schedule::kFree;
-      substrate::LiveRunResult r = substrate::run_live_do_all(
-          s.protocol, s.cfg, make_injector(s, rep), sync_run_options(s, rep), live);
+      // params["socket"] = 1 moves the row from worker threads to worker OS
+      // processes; everything else (schedule, kill-point census, verifier)
+      // is substrate-independent.
+      substrate::LiveRunResult r =
+          s.param_or("socket", 0) == 1
+              ? substrate::run_socket_do_all(s.protocol, s.cfg, make_injector(s, rep),
+                                             sync_run_options(s, rep), live)
+              : substrate::run_live_do_all(s.protocol, s.cfg, make_injector(s, rep),
+                                           sync_run_options(s, rep), live);
       fill_sync_metrics(r.run.metrics, row);
       row.ok = r.run.ok();
       row.violation = r.run.violation;
@@ -121,6 +148,14 @@ void run_one_rep(const Scenario& s, int rep, ScenarioResult& row) {
     case Substrate::kDifferential: {
       substrate::DiffOptions opts;
       opts.run = sync_run_options(s, rep);
+      // params["socket"] = 1 makes the non-oracle leg the socket-process
+      // substrate instead of the thread substrate; the simulator stays the
+      // oracle either way.
+      if (s.param_or("socket", 0) == 1) {
+        opts.live_backend = substrate::Backend::kSocket;
+        if (s.param_or("transport_tcp", 0) == 1)
+          opts.transport = substrate::Transport::kTcp;
+      }
       substrate::DiffResult d = substrate::run_differential(
           find_protocol(s.protocol), s.cfg, [&] { return make_injector(s, rep); }, opts);
       // The row reports the sim leg's metrics (either leg would do: a

@@ -87,13 +87,17 @@ struct Scenario {
   // recorder or to replace it with a frozen-trace replayer.  Never set by
   // the experiment registry, so every registered scenario is pure data.
   std::function<std::unique_ptr<FaultInjector>(std::uint64_t rep)> injector_override;
-  // CLI hook (dowork_bench --backend live): execute this kSync scenario on
-  // the live thread substrate under the deterministic barrier schedule
-  // instead of the simulator.  Row data is byte-identical either way (the
-  // oracle contract), which is exactly what the CI sim-vs-live JSON diff
-  // checks; only the timing section's units_per_sec betrays the backend.
-  // Never set by the experiment registry.
-  bool force_live = false;
+  // CLI hook (dowork_bench --backend live|socket): execute this kSync
+  // scenario on a live substrate under the deterministic barrier schedule
+  // instead of the simulator -- kLive is the thread substrate, kSocket the
+  // socket-process substrate (one worker OS process per protocol process;
+  // params["transport_tcp"] = 1 selects TCP over the default UDS).  Row
+  // data is byte-identical on every backend (the oracle contract), which
+  // is exactly what the CI sim-vs-live JSON diffs check; only the timing
+  // section's units_per_sec betrays the backend.  Never set by the
+  // experiment registry.
+  enum class ForceBackend : std::uint8_t { kNone, kLive, kSocket };
+  ForceBackend force_backend = ForceBackend::kNone;
   // CLI hook (dowork_bench --sim-threads N): round-parallel evaluation for
   // this kSync scenario's simulator runs (RunOptions::sim_threads).  Byte-
   // identical row data at any value -- the round pool's ordered-commit

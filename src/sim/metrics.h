@@ -60,6 +60,12 @@ struct RunMetrics {
   // JSON report's violation column instead of the run hanging CTest.
   bool aborted = false;
   std::string aborted_reason;
+  // Machine-readable companion to aborted_reason: space-separated
+  // "key=value" pairs (cause=..., plus whatever the substrate knows --
+  // stalled proc, killed pid, last round reached, socket errno) so fuzz
+  // reports and compare_bench.py --aborts can bucket abort causes without
+  // parsing prose.  Empty when the run was not aborted.
+  std::string abort_detail;
 
   std::uint64_t messages_of(MsgKind k) const {
     return messages_by_kind[static_cast<std::size_t>(k)];

@@ -430,6 +430,7 @@ RunMetrics Simulator::run() {
       // nothing.
       metrics_.aborted = true;
       metrics_.aborted_reason = std::move(abort.reason);
+      metrics_.abort_detail = std::move(abort.detail);
       break;
     }
     ++metrics_.stepped_rounds;

@@ -73,6 +73,10 @@ enum class ProcState : std::uint8_t { kAlive, kCrashed, kTerminated };
 // round commits nothing.
 struct AbortRun {
   std::string reason;
+  // Machine-readable "key=value ..." companion, copied to
+  // RunMetrics::abort_detail (may be empty).  By convention the first pair
+  // is cause=<bucket>; compare_bench.py --aborts groups on it.
+  std::string detail;
 };
 
 // How a committed CrashPlan stopped a process, as the live backend

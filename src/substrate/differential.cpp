@@ -3,6 +3,8 @@
 #include <cstddef>
 #include <utility>
 
+#include "substrate/socket_substrate.h"
+
 namespace dowork::substrate {
 
 namespace {
@@ -89,7 +91,10 @@ DiffResult run_differential(const ProtocolInfo& info, const DoAllConfig& cfg,
   live.schedule = LiveOptions::Schedule::kDeterministic;
   live.watchdog_ms = opts.watchdog_ms;
   live.join_grace_ms = opts.join_grace_ms;
-  result.live = run_live_do_all(info, cfg, make_injector(), opts.run, live);
+  live.transport = opts.transport;
+  result.live = opts.live_backend == Backend::kSocket
+                    ? run_socket_do_all(info, cfg, make_injector(), opts.run, live)
+                    : run_live_do_all(info, cfg, make_injector(), opts.run, live);
 
   if (!result.sim.ok()) {
     result.divergence = "sim leg failed verification: " + result.sim.violation;

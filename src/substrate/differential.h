@@ -39,11 +39,16 @@ struct DiffOptions {
   // deterministic; that's the mode with an equality oracle).
   std::uint64_t watchdog_ms = 10'000;
   std::uint64_t join_grace_ms = 2'000;
+  // Which live substrate supplies the non-oracle leg: worker threads
+  // (default) or worker OS processes over localhost sockets
+  // (socket_substrate.h); transport applies to the latter only.
+  Backend live_backend = Backend::kThread;
+  Transport transport = Transport::kUds;
 };
 
 struct DiffResult {
   RunResult sim;        // the oracle leg
-  LiveRunResult live;   // the thread-substrate leg
+  LiveRunResult live;   // the live-substrate leg (thread or socket)
   std::string divergence;  // "" = metric-for-metric equal and both legs verified
   bool ok() const { return divergence.empty(); }
 };

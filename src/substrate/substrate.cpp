@@ -1,5 +1,6 @@
 #include "substrate/substrate.h"
 
+#include "substrate/socket_substrate.h"
 #include "substrate/thread_substrate.h"
 
 namespace dowork::substrate {
@@ -8,6 +9,15 @@ const char* to_string(Backend b) {
   switch (b) {
     case Backend::kSim: return "sim";
     case Backend::kThread: return "thread";
+    case Backend::kSocket: return "socket";
+  }
+  return "?";
+}
+
+const char* to_string(Transport t) {
+  switch (t) {
+    case Transport::kUds: return "uds";
+    case Transport::kTcp: return "tcp";
   }
   return "?";
 }
@@ -41,10 +51,28 @@ class ThreadSubstrate final : public ISubstrate {
   LiveStats last_{};
 };
 
+class SocketSubstrate final : public ISubstrate {
+ public:
+  explicit SocketSubstrate(LiveOptions live) : live_(live) {}
+  const char* name() const override { return "socket"; }
+  RunResult run(const ProtocolInfo& info, const DoAllConfig& cfg,
+                std::unique_ptr<FaultInjector> faults, const RunOptions& opts) override {
+    LiveRunResult r = run_socket_do_all(info, cfg, std::move(faults), opts, live_);
+    last_ = r.stats;
+    return std::move(r.run);
+  }
+  LiveStats last_live_stats() const override { return last_; }
+
+ private:
+  LiveOptions live_;
+  LiveStats last_{};
+};
+
 }  // namespace
 
 std::unique_ptr<ISubstrate> make_substrate(Backend backend, LiveOptions live) {
   if (backend == Backend::kThread) return std::make_unique<ThreadSubstrate>(live);
+  if (backend == Backend::kSocket) return std::make_unique<SocketSubstrate>(live);
   return std::make_unique<SimSubstrate>();
 }
 

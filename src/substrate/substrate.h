@@ -10,9 +10,15 @@
 //                         stops) and a watchdog supervisor that turns a
 //                         hung worker into a structured abort instead of a
 //                         hung run.
+//   * Backend::kSocket -- the SocketSubstrate
+//                         (substrate/socket_substrate.h): one worker OS
+//                         process per protocol process over localhost
+//                         UDS/TCP, crash = SIGKILL at the same kill-point
+//                         taxonomy, process-grade supervision (connect/
+//                         accept/read deadlines, waitpid reaping).
 //
-// Both backends drive the identical protocol code, fault injectors and
-// verifier; under the deterministic barrier schedule the live backend's
+// All backends drive the identical protocol code, fault injectors and
+// verifier; under the deterministic barrier schedule the live backends'
 // metrics match the simulator's field for field, which is what makes the
 // sim a differential-testing oracle (substrate/differential.h).
 #pragma once
@@ -25,9 +31,15 @@
 
 namespace dowork::substrate {
 
-enum class Backend : std::uint8_t { kSim, kThread };
+enum class Backend : std::uint8_t { kSim, kThread, kSocket };
+
+// Which localhost transport the socket backend speaks.  UDS is the default
+// (lower per-frame latency, no port allocation); TCP exercises the same
+// framing over a real INET stack (127.0.0.1, TCP_NODELAY).
+enum class Transport : std::uint8_t { kUds, kTcp };
 
 const char* to_string(Backend b);
+const char* to_string(Transport t);
 
 struct LiveOptions {
   // kDeterministic: the supervisor commits evaluated steps in ascending
@@ -46,8 +58,16 @@ struct LiveOptions {
 
   // Teardown grace: how long join-all waits for workers to exit after
   // cancellation before declaring them leaked (a worker ignoring the
-  // cooperative cancel token; see run_cancelled() in fabric.h).
+  // cooperative cancel token; see run_cancelled() in fabric.h).  The socket
+  // backend uses the same budget for its waitpid reap before escalating to
+  // SIGKILL (processes, unlike threads, can always be reaped -- the socket
+  // backend never leaks).
   std::uint64_t join_grace_ms = 2'000;
+
+  // Socket backend only: transport and the setup deadline covering worker
+  // spawn + connect + hello (bounded retry with backoff inside it).
+  Transport transport = Transport::kUds;
+  std::uint64_t spawn_timeout_ms = 10'000;
 };
 
 // What the live backend measured beyond the shared RunMetrics: the first
@@ -60,7 +80,7 @@ struct LiveStats {
   std::uint64_t kills_send_commit = 0;
   std::uint64_t kills_mid_broadcast = 0;
   std::uint64_t kills_round_barrier = 0;
-  int threads = 0;      // worker threads spawned
+  int threads = 0;      // workers spawned (threads or, on kSocket, processes)
   bool leaked = false;  // join-all gave up on a worker (its run is pinned)
 };
 

@@ -91,7 +91,10 @@ void ThreadExecutor::run_steps(StepEval& eval, const Round& round, const std::ve
       }
       throw AbortRun{"watchdog: " + std::to_string(missing) + " worker(s) missed the " +
                      std::to_string(opts_.watchdog_ms) + "ms round deadline (first stalled: proc " +
-                     std::to_string(first_stalled) + ", round " + round.to_string() + ")"};
+                     std::to_string(first_stalled) + ", round " + round.to_string() + ")",
+                     "cause=watchdog proc=" + std::to_string(first_stalled) +
+                         " missing=" + std::to_string(missing) + " round=" + round.to_string() +
+                         " deadline_ms=" + std::to_string(opts_.watchdog_ms)};
     }
   }
   if (!free_sched)

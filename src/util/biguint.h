@@ -61,6 +61,16 @@ class BigUint {
   // Protocol C's astronomically large round counts.
   int log2_floor() const;
 
+  // Exact little-endian limb access for serialization (the socket substrate
+  // ships promoted Rounds limb-for-limb; decimal round-trips would be lossy
+  // only in cost, but limbs are also branch-free to encode).
+  std::uint64_t limb(int i) const { return limbs_[static_cast<std::size_t>(i)]; }
+  static BigUint from_limbs(const std::array<std::uint64_t, kLimbs>& limbs) {
+    BigUint v;
+    v.limbs_ = limbs;
+    return v;
+  }
+
  private:
   [[noreturn]] static void throw_add_overflow();
   [[noreturn]] static void throw_mul_overflow();

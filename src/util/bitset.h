@@ -121,6 +121,18 @@ class DynBitset {
 
   friend bool operator==(const DynBitset& a, const DynBitset& b) = default;
 
+  // Raw word access for serialization (the socket substrate's wire codec
+  // ships view bitsets word-for-word; bit-at-a-time framing would be 64x
+  // the work at Protocol D's shapes).  assign_word trusts the caller for
+  // non-tail words and re-masks the tail so the bits >= size() invariant
+  // survives a decode of hostile bytes.
+  std::size_t word_count() const { return w_.size(); }
+  std::uint64_t word(std::size_t i) const { return w_[i]; }
+  void assign_word(std::size_t i, std::uint64_t w) {
+    w_[i] = w;
+    if (i + 1 == w_.size()) mask_tail();
+  }
+
  private:
   void mask_tail() {
     if (n_ % 64 && !w_.empty()) w_.back() &= (std::uint64_t{1} << (n_ % 64)) - 1;
